@@ -1,0 +1,121 @@
+// Experiment X4: runtime scaling (google-benchmark).
+//
+// CBTC itself is a distributed algorithm; what scales here is our
+// centralized oracle and the simulation substrate. Constant density is
+// maintained by growing the region with the node count.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "algo/pipeline.h"
+#include "baselines/baselines.h"
+#include "geom/random_points.h"
+#include "geom/spatial_grid.h"
+#include "graph/euclidean.h"
+#include "proto/runner.h"
+
+namespace {
+
+using namespace cbtc;
+
+constexpr double density_side_for(std::int64_t nodes) {
+  // 100 nodes <-> 1500^2 (the paper's density).
+  return 1500.0 * std::sqrt(static_cast<double>(nodes) / 100.0);
+}
+
+std::vector<geom::vec2> make_positions(std::int64_t nodes) {
+  const double side = density_side_for(nodes);
+  return geom::uniform_points(static_cast<std::size_t>(nodes), geom::bbox::rect(side, side), 42);
+}
+
+const radio::power_model pm(2.0, 500.0);
+
+void BM_CbtcOracle(benchmark::State& state) {
+  const auto positions = make_positions(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::run_cbtc(positions, pm, {}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CbtcOracle)->RangeMultiplier(2)->Range(100, 1600)->Complexity();
+
+void BM_FullPipeline(benchmark::State& state) {
+  const auto positions = make_positions(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        algo::build_topology(positions, pm, {}, algo::optimization_set::all()));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullPipeline)->RangeMultiplier(2)->Range(100, 1600)->Complexity();
+
+void BM_MaxPowerGraphGrid(benchmark::State& state) {
+  const auto positions = make_positions(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::build_max_power_graph(positions, pm.max_range()));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MaxPowerGraphGrid)->RangeMultiplier(2)->Range(100, 1600)->Complexity();
+
+void BM_MaxPowerGraphBrute(benchmark::State& state) {
+  const auto positions = make_positions(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::build_max_power_graph_brute(positions, pm.max_range()));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MaxPowerGraphBrute)->RangeMultiplier(2)->Range(100, 1600)->Complexity();
+
+void BM_SpatialGridBuild(benchmark::State& state) {
+  const auto positions = make_positions(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::spatial_grid(positions, pm.max_range()));
+  }
+}
+BENCHMARK(BM_SpatialGridBuild)->RangeMultiplier(4)->Range(100, 6400);
+
+void BM_SpatialGridQuery(benchmark::State& state) {
+  const auto positions = make_positions(1600);
+  const geom::spatial_grid grid(positions, pm.max_range());
+  std::size_t i = 0;
+  std::vector<geom::point_index> out;
+  for (auto _ : state) {
+    out.clear();
+    grid.query_radius_into(positions[i++ % positions.size()], pm.max_range(),
+                           geom::spatial_grid::npos, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SpatialGridQuery);
+
+void BM_PairwiseRemoval(benchmark::State& state) {
+  const auto positions = make_positions(state.range(0));
+  const auto closure = algo::run_cbtc(positions, pm, {}).symmetric_closure();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::apply_pairwise_removal(closure, positions, {}));
+  }
+}
+BENCHMARK(BM_PairwiseRemoval)->RangeMultiplier(2)->Range(100, 800);
+
+void BM_BaselineMst(benchmark::State& state) {
+  const auto positions = make_positions(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::euclidean_mst(positions, pm.max_range()));
+  }
+}
+BENCHMARK(BM_BaselineMst)->RangeMultiplier(2)->Range(100, 800);
+
+void BM_DistributedProtocol(benchmark::State& state) {
+  const auto positions = make_positions(state.range(0));
+  proto::protocol_run_config cfg;
+  cfg.agent.round_timeout = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto::run_protocol(positions, pm, cfg));
+  }
+}
+BENCHMARK(BM_DistributedProtocol)->RangeMultiplier(2)->Range(50, 200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Quickstart: run CBTC(5*pi/6) with all optimizations on a random
+// network and inspect the result.
+//
+//   $ ./quickstart [nodes] [seed]
+//
+// This is the five-minute tour of the public API:
+//   1. place nodes,
+//   2. choose a radio power model,
+//   3. build the topology (growth + optimizations),
+//   4. check the paper's guarantees,
+//   5. export an SVG you can open in a browser.
+#include <iostream>
+#include <string>
+
+#include "algo/analysis.h"
+#include "algo/pipeline.h"
+#include "geom/random_points.h"
+#include "graph/euclidean.h"
+#include "graph/graph_io.h"
+#include "graph/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace cbtc;
+
+  const std::size_t nodes = argc > 1 ? std::stoul(argv[1]) : 100;
+  const std::uint64_t seed = argc > 2 ? std::stoull(argv[2]) : 1;
+
+  // 1. One hundred nodes, uniform in a 1500 x 1500 field (the paper's
+  //    evaluation setup).
+  const geom::bbox region = geom::bbox::rect(1500.0, 1500.0);
+  const std::vector<geom::vec2> positions = geom::uniform_points(nodes, region, seed);
+
+  // 2. Radio: power p(d) = d^2, maximum range R = 500 (so max power
+  //    P = p(500)).
+  const radio::power_model radio(2.0, 500.0);
+
+  // 3. CBTC(alpha = 5*pi/6) + shrink-back + pairwise edge removal.
+  //    (Asymmetric removal is requested too; the pipeline skips it
+  //    automatically because it requires alpha <= 2*pi/3.)
+  algo::cbtc_params params;  // defaults: alpha = 5*pi/6, Increase(p) = 2p
+  const algo::topology_result result =
+      algo::build_topology(positions, radio, params, algo::optimization_set::all());
+
+  // 4. The guarantees from the paper, checked at runtime.
+  const algo::invariant_report report =
+      algo::check_invariants(result.topology, positions, radio.max_range());
+
+  const auto gr = graph::build_max_power_graph(positions, radio.max_range());
+  std::cout << "nodes:                  " << nodes << "\n"
+            << "G_R edges (max power):  " << gr.num_edges() << "\n"
+            << "topology edges:         " << result.topology.num_edges() << "\n"
+            << "avg degree:             " << graph::average_degree(result.topology) << " (G_R: "
+            << graph::average_degree(gr) << ")\n"
+            << "avg radius:             "
+            << graph::average_radius(result.topology, positions, radio.max_range())
+            << " (max power: " << radio.max_range() << ")\n"
+            << "redundant edges removed: " << result.removed_edges << "\n"
+            << "boundary nodes:         " << result.growth.boundary_count() << "\n"
+            << "connectivity preserved: " << (report.connectivity_preserved ? "yes" : "NO") << "\n"
+            << "subgraph of G_R:        " << (report.subgraph_of_max_power ? "yes" : "NO") << "\n"
+            << "all radii <= R:         " << (report.radii_within_max_range ? "yes" : "NO") << "\n";
+
+  // 5. Visualize.
+  graph::svg_style style;
+  style.title = "CBTC(5pi/6), all optimizations";
+  graph::save_svg("quickstart_topology.svg", result.topology, positions, region, style);
+  std::cout << "wrote quickstart_topology.svg\n";
+  return report.ok() ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+// Per-instance alpha threshold analysis.
+//
+// Theorem 2.1 guarantees connectivity preservation for alpha <= 5*pi/6
+// on *every* instance; Theorem 2.4 exhibits *one* instance breaking
+// just above. For a concrete network the breaking point is usually much
+// higher — these helpers measure that per-instance margin, which the
+// alpha-sweep bench aggregates into an empirical threshold curve.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "algo/oracle.h"
+#include "algo/params.h"
+#include "geom/vec2.h"
+#include "radio/power_model.h"
+
+namespace cbtc::algo {
+
+/// One sample of the scan.
+struct alpha_sample {
+  double alpha{0.0};
+  bool preserved{false};
+};
+
+struct alpha_scan_result {
+  std::vector<alpha_sample> samples;  // ascending alpha
+  /// Largest scanned alpha such that every scanned alpha' <= alpha
+  /// preserved connectivity (the instance's empirical safe prefix).
+  double safe_prefix_max{0.0};
+  /// True if every scanned alpha preserved connectivity.
+  bool all_preserved{false};
+};
+
+/// Evaluates connectivity preservation of G_alpha (symmetric closure)
+/// on a grid of `steps` alphas in [lo, hi].
+[[nodiscard]] alpha_scan_result scan_alpha(std::span<const geom::vec2> positions,
+                                           const radio::power_model& power, double lo, double hi,
+                                           std::size_t steps,
+                                           growth_mode mode = growth_mode::continuous);
+
+/// Bisects for the largest alpha in [lo, hi] whose G_alpha preserves
+/// connectivity, assuming preservation is monotone in alpha on this
+/// instance (true in practice; the scan can validate). Tolerance in
+/// radians.
+[[nodiscard]] double max_preserving_alpha(std::span<const geom::vec2> positions,
+                                          const radio::power_model& power, double lo, double hi,
+                                          double tol = 1e-3,
+                                          growth_mode mode = growth_mode::continuous);
+
+}  // namespace cbtc::algo

@@ -1,0 +1,46 @@
+#include "algo/analysis.h"
+
+#include <string>
+
+#include "graph/euclidean.h"
+#include "graph/metrics.h"
+#include "graph/traversal.h"
+
+namespace cbtc::algo {
+
+invariant_report check_invariants(const graph::undirected_graph& topology,
+                                  std::span<const geom::vec2> positions, double max_range) {
+  invariant_report rep;
+  const graph::undirected_graph gr = graph::build_max_power_graph(positions, max_range);
+
+  rep.subgraph_of_max_power = true;
+  for (const graph::edge& e : topology.edges()) {
+    if (!gr.has_edge(e.u, e.v)) {
+      rep.subgraph_of_max_power = false;
+      rep.violations.push_back("edge (" + std::to_string(e.u) + ", " + std::to_string(e.v) +
+                               ") not in G_R");
+    }
+  }
+
+  rep.connectivity_preserved = graph::same_connectivity(topology, gr);
+  if (!rep.connectivity_preserved) {
+    rep.violations.push_back("component partition differs: topology has " +
+                             std::to_string(graph::connected_components(topology).count) +
+                             " components, G_R has " +
+                             std::to_string(graph::connected_components(gr).count));
+  }
+
+  rep.radii_within_max_range = true;
+  constexpr double tol = 1e-9;
+  for (graph::node_id u = 0; u < topology.num_nodes(); ++u) {
+    const double r = graph::node_radius(topology, positions, u, 0.0);
+    if (r > max_range * (1.0 + tol)) {
+      rep.radii_within_max_range = false;
+      rep.violations.push_back("node " + std::to_string(u) + " needs radius " +
+                               std::to_string(r) + " > R = " + std::to_string(max_range));
+    }
+  }
+  return rep;
+}
+
+}  // namespace cbtc::algo

@@ -1,0 +1,31 @@
+// Cross-cutting invariant checks used by tests, examples, and benches.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "graph/graph.h"
+
+namespace cbtc::algo {
+
+struct invariant_report {
+  bool subgraph_of_max_power{false};    // every edge also in G_R
+  bool connectivity_preserved{false};   // same component partition as G_R
+  bool radii_within_max_range{false};   // no node needs more than R
+  std::vector<std::string> violations;  // human-readable details
+
+  [[nodiscard]] bool ok() const {
+    return subgraph_of_max_power && connectivity_preserved && radii_within_max_range;
+  }
+};
+
+/// Checks the paper's three desiderata for a topology-control output
+/// (Section 1): subgraph of G_R, connectivity preservation, and no node
+/// transmitting beyond R.
+[[nodiscard]] invariant_report check_invariants(const graph::undirected_graph& topology,
+                                                std::span<const geom::vec2> positions,
+                                                double max_range);
+
+}  // namespace cbtc::algo

@@ -1,0 +1,38 @@
+// Fault-tolerance augmentation (extension beyond the paper).
+//
+// The paper's related work (Ramanathan & Rosales-Hain) targets
+// *biconnected* topologies; CBTC's output is sparse and can contain
+// bridges whose failure partitions the network even though G_R has
+// alternate routes. This module greedily eliminates every avoidable
+// bridge: for each bridge of the topology it adds the shortest G_R
+// edge that reconnects the two sides without the bridge. Bridges that
+// are also unavoidable in G_R (no alternate G_R edge crosses the cut)
+// are left in place.
+//
+// The result stays a subgraph of G_R, preserves connectivity trivially
+// (edges are only added), and increases per-node radii only as much as
+// the added edges require.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "geom/vec2.h"
+#include "graph/graph.h"
+
+namespace cbtc::algo {
+
+struct augment_result {
+  graph::undirected_graph topology;
+  std::size_t edges_added{0};
+  std::size_t unavoidable_bridges{0};  // bridges G_R cannot bypass either
+};
+
+/// Adds minimum-length G_R edges until every remaining bridge of the
+/// topology is unavoidable (its endpoints' sides are connected in G_R
+/// only through the bridge itself).
+[[nodiscard]] augment_result augment_bridge_resilience(const graph::undirected_graph& topology,
+                                                       std::span<const geom::vec2> positions,
+                                                       double max_range);
+
+}  // namespace cbtc::algo

@@ -1,0 +1,164 @@
+#include "algo/gadgets.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geom/angle.h"
+
+namespace cbtc::algo::gadgets {
+
+using geom::distance;
+using geom::pi;
+using geom::polar;
+using geom::vec2;
+
+namespace {
+// Angular guard so strict gap-alpha comparisons cannot flip on float
+// rounding: constructed gaps sit `angle_guard` inside their bound.
+constexpr double angle_guard = 1e-6;
+}  // namespace
+
+example21 make_example21(double alpha, double max_range) {
+  if (!(alpha > 2.0 * pi / 3.0 && alpha <= 5.0 * pi / 6.0 + 1e-12))
+    throw std::invalid_argument("make_example21: alpha must be in (2*pi/3, 5*pi/6]");
+
+  const double R = max_range;
+  // The paper sets angle(v,u0,u1) = angle(v,u0,u2) = pi/3 + eps = alpha/2.
+  // We pull eps in by a guard so u0's cone toward v closes strictly.
+  const double eps = (alpha / 2.0 - pi / 3.0) - angle_guard;
+  if (eps <= 0.0) throw std::invalid_argument("make_example21: alpha too close to 2*pi/3");
+
+  example21 g;
+  g.alpha = alpha;
+  g.max_range = R;
+
+  const vec2 u0{0.0, 0.0};
+  const vec2 v{R, 0.0};
+  // Triangle u0-v-u1: angle at u0 = pi/3 + eps, at v = pi/3 - eps, so the
+  // angle at u1 is pi/3. Law of sines gives d(u0,u1).
+  const double d01 = R * std::sin(pi / 3.0 - eps) / std::sin(pi / 3.0);
+  const vec2 u1 = polar(u0, d01, pi / 3.0 + eps);
+  const vec2 u2 = polar(u0, d01, -(pi / 3.0 + eps));
+  const vec2 u3 = polar(u0, R / 2.0, pi);  // angle(v,u0,u3) = pi
+
+  g.positions = {u0, u1, u2, u3, v};
+  if (!g.validate()) throw std::logic_error("make_example21: construction invariants failed");
+  return g;
+}
+
+bool example21::validate() const {
+  const vec2& pu0 = positions[u0];
+  const vec2& pu1 = positions[u1];
+  const vec2& pu2 = positions[u2];
+  const vec2& pu3 = positions[u3];
+  const vec2& pv = positions[v];
+  const double R = max_range;
+
+  // d(u0, v) = R: the critical G_R edge.
+  if (std::abs(distance(pu0, pv) - R) > 1e-6) return false;
+  // u1, u2, u3 are strictly inside u0's range…
+  if (!(distance(pu0, pu1) < R && distance(pu0, pu2) < R && distance(pu0, pu3) < R)) return false;
+  // …but outside v's range (so N_alpha(v) = {u0} even at max power).
+  if (!(distance(pv, pu1) > R && distance(pv, pu2) > R && distance(pv, pu3) > R)) return false;
+
+  // u0's three discovered directions leave no alpha-gap once u1,u2,u3
+  // are found (Example 2.1's point: u0 stops short of v).
+  const double a1 = (pu1 - pu0).bearing();
+  const double a2 = (pu2 - pu0).bearing();
+  const double a3 = (pu3 - pu0).bearing();
+  const double dirs[] = {a1, a2, a3};
+  if (geom::has_alpha_gap(dirs, alpha)) return false;
+
+  // And v's direction from u0 lies inside the (closed) widest gap,
+  // i.e. u0 genuinely does not need v for coverage.
+  return true;
+}
+
+figure5 make_figure5(double eps, double max_range) {
+  if (!(eps > 0.0 && eps < pi / 6.0))
+    throw std::invalid_argument("make_figure5: eps must be in (0, pi/6)");
+
+  const double R = max_range;
+  const double alpha = 5.0 * pi / 6.0 + eps;
+
+  figure5 g;
+  g.alpha = alpha;
+  g.max_range = R;
+
+  const vec2 pu0{0.0, 0.0};
+  const vec2 pv0{R, 0.0};
+
+  // u1: angle(u1, u0, v0) = pi/2, small distance; u3 constraint below
+  // forces d(u0,u1) to shrink, found by halving.
+  // u2: next ray counterclockwise after u0->u1, at angle min(alpha, pi)
+  //     from it, distance R/2 (as chosen in the proof).
+  const double u2_bearing = pi / 2.0 + std::min(alpha, pi) - angle_guard;
+  const vec2 pu2 = polar(pu0, R / 2.0, u2_bearing);
+
+  // u3: on the horizontal line through s' = (R/2, -sqrt(3)/2 R) slightly
+  // left of s', such that angle(u3, u0, u1) = 5*pi/6 + eps/2 < alpha.
+  // Its bearing from u0 is -(pi/3 + eps/2).
+  const double u3_bearing_down = pi / 3.0 + eps / 2.0;  // below the u0-v0 axis
+  const double d03 = (R * std::sqrt(3.0) / 2.0) / std::sin(u3_bearing_down);
+  const vec2 pu3 = polar(pu0, d03, -u3_bearing_down);
+
+  // Mirror through the midpoint of u0 v0 (the construction is symmetric
+  // under the point reflection u_i <-> v_i).
+  auto mirror = [&](const vec2& p) { return vec2{R - p.x, -p.y}; };
+
+  // d(u0,u1) = d(v0,v1) must be small enough that u3/v1 and v3/u1 stay
+  // farther than R apart; halve until every validation holds.
+  double d01 = R / 20.0;
+  for (int attempt = 0; attempt < 60; ++attempt) {
+    const vec2 pu1 = polar(pu0, d01, pi / 2.0);
+    g.positions = {pu0, pu1, pu2, pu3, pv0, mirror(pu1), mirror(pu2), mirror(pu3)};
+    if (g.validate()) return g;
+    d01 /= 2.0;
+  }
+  throw std::logic_error("make_figure5: could not satisfy construction invariants");
+}
+
+bool figure5::validate() const {
+  const double R = max_range;
+  const vec2& pu0 = positions[u0];
+  const vec2& pv0 = positions[v0];
+
+  // The single inter-cluster G_R edge: d(u0, v0) = R.
+  if (std::abs(distance(pu0, pv0) - R) > 1e-6) return false;
+
+  // Intra-cluster: hubs reach their satellites.
+  for (graph::node_id i : {u1, u2, u3}) {
+    if (!(distance(pu0, positions[i]) < R)) return false;
+  }
+  for (graph::node_id i : {v1, v2, v3}) {
+    if (!(distance(pv0, positions[i]) < R)) return false;
+  }
+
+  // Inter-cluster: every (u_i, v_j) with i + j >= 1 is out of range.
+  const graph::node_id us[] = {u0, u1, u2, u3};
+  const graph::node_id vs[] = {v0, v1, v2, v3};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i + j == 0) continue;
+      if (!(distance(positions[us[i]], positions[vs[j]]) > R)) return false;
+    }
+  }
+
+  // u0's satellites close its cones *without* v0: directions to
+  // u1, u2, u3 must have no alpha-gap, and all three sit strictly
+  // closer than R (so u0's final power stays below p(R)).
+  const double dirs_u0[] = {(positions[u1] - pu0).bearing(), (positions[u2] - pu0).bearing(),
+                            (positions[u3] - pu0).bearing()};
+  if (geom::has_alpha_gap(dirs_u0, alpha)) return false;
+  const double dirs_v0[] = {(positions[v1] - pv0).bearing(), (positions[v2] - pv0).bearing(),
+                            (positions[v3] - pv0).bearing()};
+  if (geom::has_alpha_gap(dirs_v0, alpha)) return false;
+
+  // Satellites themselves cannot reach anyone but their own hub…
+  // (checked above: inter-cluster all > R). Within a cluster the
+  // satellites may or may not see each other; either way the u-cluster
+  // and v-cluster stay internally connected through the hub.
+  return true;
+}
+
+}  // namespace cbtc::algo::gadgets

@@ -1,0 +1,70 @@
+// Analytic node constructions from the paper.
+//
+// - Example 2.1 (Figure 2): a 5-node layout where the neighbor relation
+//   N_alpha is asymmetric for 2*pi/3 < alpha <= 5*pi/6 — (v, u0) is in
+//   N_alpha but (u0, v) is not, demonstrating why G_alpha must be the
+//   *symmetric closure*.
+// - Figure 5 (Theorem 2.4): an 8-node layout, connected in G_R, that
+//   CBTC(alpha) disconnects for alpha = 5*pi/6 + eps. This witnesses
+//   tightness of the 5*pi/6 bound.
+//
+// Both constructions are exact trigonometric placements; `validate()`
+// helpers re-check every inequality the proofs rely on so tests fail
+// loudly if a placement drifts.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.h"
+#include "graph/types.h"
+
+namespace cbtc::algo::gadgets {
+
+struct example21 {
+  std::vector<geom::vec2> positions;  // [u0, u1, u2, u3, v]
+  double alpha{0.0};
+  double max_range{0.0};  // R; d(u0, v) == R
+
+  static constexpr graph::node_id u0 = 0;
+  static constexpr graph::node_id u1 = 1;
+  static constexpr graph::node_id u2 = 2;
+  static constexpr graph::node_id u3 = 3;
+  static constexpr graph::node_id v = 4;
+
+  /// Re-derives the distance/angle inequalities used in Example 2.1;
+  /// returns false if any fails.
+  [[nodiscard]] bool validate() const;
+};
+
+/// Builds Example 2.1 for a given alpha in (2*pi/3, 5*pi/6]. The
+/// paper's epsilon is alpha/2 - pi/3 (so that angle(v,u0,u1) = alpha/2);
+/// a small angular guard keeps the strict gap test robust in floating
+/// point.
+[[nodiscard]] example21 make_example21(double alpha, double max_range = 500.0);
+
+struct figure5 {
+  std::vector<geom::vec2> positions;  // [u0, u1, u2, u3, v0, v1, v2, v3]
+  double alpha{0.0};  // 5*pi/6 + eps
+  double max_range{0.0};
+
+  static constexpr graph::node_id u0 = 0;
+  static constexpr graph::node_id u1 = 1;
+  static constexpr graph::node_id u2 = 2;
+  static constexpr graph::node_id u3 = 3;
+  static constexpr graph::node_id v0 = 4;
+  static constexpr graph::node_id v1 = 5;
+  static constexpr graph::node_id v2 = 6;
+  static constexpr graph::node_id v3 = 7;
+
+  /// Checks every construction property from the proof of Theorem 2.4:
+  /// d(u0,v0) == R; within each cluster all nodes are < R from the hub;
+  /// across clusters every pair other than (u0,v0) is > R apart; and
+  /// the u0/v0 cone constraints hold.
+  [[nodiscard]] bool validate() const;
+};
+
+/// Builds the Figure 5 counterexample for alpha = 5*pi/6 + eps
+/// (0 < eps <= pi/6 - a small margin).
+[[nodiscard]] figure5 make_figure5(double eps, double max_range = 500.0);
+
+}  // namespace cbtc::algo::gadgets

@@ -1,0 +1,168 @@
+#include "algo/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geom/angle.h"
+#include "geom/spatial_grid.h"
+
+namespace cbtc::algo {
+
+bool node_result::knows(node_id v) const {
+  return std::any_of(neighbors.begin(), neighbors.end(),
+                     [v](const neighbor_record& r) { return r.id == v; });
+}
+
+std::vector<double> node_result::directions() const {
+  std::vector<double> dirs;
+  dirs.reserve(neighbors.size());
+  for (const neighbor_record& r : neighbors) {
+    // A neighbor at distance zero has no meaningful bearing (the paper
+    // implicitly assumes distinct positions); it contributes no
+    // directional coverage.
+    if (r.distance > 0.0) dirs.push_back(r.direction);
+  }
+  return dirs;
+}
+
+double node_result::out_radius() const {
+  double r = 0.0;
+  for (const neighbor_record& rec : neighbors) r = std::max(r, rec.distance);
+  return r;
+}
+
+graph::digraph cbtc_result::neighbor_digraph() const {
+  graph::digraph d(nodes.size());
+  for (node_id u = 0; u < nodes.size(); ++u) {
+    for (const neighbor_record& r : nodes[u].neighbors) d.add_arc(u, r.id);
+  }
+  return d;
+}
+
+graph::undirected_graph cbtc_result::symmetric_closure() const {
+  return neighbor_digraph().symmetric_closure();
+}
+
+graph::undirected_graph cbtc_result::symmetric_core() const {
+  return neighbor_digraph().symmetric_core();
+}
+
+std::size_t cbtc_result::boundary_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes.begin(), nodes.end(), [](const node_result& n) { return n.boundary; }));
+}
+
+namespace {
+
+/// Candidate neighbors of one node, sorted by distance.
+struct candidate {
+  node_id id;
+  double distance;
+  double direction;
+};
+
+std::vector<candidate> candidates_of(node_id u, std::span<const geom::vec2> positions,
+                                     const geom::spatial_grid& grid, double max_range) {
+  std::vector<candidate> cands;
+  const geom::vec2 pu = positions[u];
+  for (geom::point_index v : grid.query_radius(pu, max_range, u)) {
+    const geom::vec2 d = positions[v] - pu;
+    cands.push_back({v, d.norm(), d.bearing()});
+  }
+  std::sort(cands.begin(), cands.end(), [](const candidate& a, const candidate& b) {
+    return a.distance < b.distance || (a.distance == b.distance && a.id < b.id);
+  });
+  return cands;
+}
+
+/// Figure 1, executed exactly: p <- p0; while (p < P and gap-alpha(D)):
+/// p <- min(Increase(p), P); broadcast and absorb everyone in range.
+node_result run_discrete(const std::vector<candidate>& cands, const radio::power_model& power,
+                         const cbtc_params& params, double p0) {
+  node_result res;
+  const double max_power = power.max_power();
+  double p = p0;
+  std::size_t next = 0;  // first candidate not yet discovered
+  std::vector<double> dirs;
+
+  while (p < max_power && geom::has_alpha_gap(dirs, params.alpha)) {
+    p = std::min(p * params.increase_factor, max_power);
+    res.level_powers.push_back(p);
+    const auto level = static_cast<std::uint32_t>(res.level_powers.size() - 1);
+    const double radius = power.range(p);
+    while (next < cands.size() && cands[next].distance <= radius) {
+      const candidate& c = cands[next];
+      res.neighbors.push_back({c.id, c.distance, c.direction, level, p});
+      if (c.distance > 0.0) dirs.push_back(c.direction);  // coincident: no bearing
+      ++next;
+    }
+  }
+  res.final_power = res.level_powers.empty() ? p0 : res.level_powers.back();
+  res.boundary = geom::has_alpha_gap(dirs, params.alpha);
+  return res;
+}
+
+/// Idealized continuous growth: admit candidates one at a time in
+/// distance order; stop at the first prefix with no alpha-gap. Each
+/// admission is its own power level, so shrink-back and reconfiguration
+/// tags behave exactly like an infinitely fine discrete schedule.
+node_result run_continuous(const std::vector<candidate>& cands, const radio::power_model& power,
+                           const cbtc_params& params) {
+  node_result res;
+  std::vector<double> dirs;
+  bool covered = false;
+  for (const candidate& c : cands) {
+    if (!geom::has_alpha_gap(dirs, params.alpha)) {
+      covered = true;
+      break;
+    }
+    const double p = power.required_power(c.distance);
+    res.level_powers.push_back(p);
+    const auto level = static_cast<std::uint32_t>(res.level_powers.size() - 1);
+    res.neighbors.push_back({c.id, c.distance, c.direction, level, p});
+    if (c.distance > 0.0) dirs.push_back(c.direction);  // coincident: no bearing
+  }
+  if (!covered) covered = !geom::has_alpha_gap(dirs, params.alpha);
+
+  if (covered) {
+    res.final_power = res.level_powers.empty() ? 0.0 : res.level_powers.back();
+    res.boundary = false;
+  } else {
+    // Ran out of reachable nodes with a gap left: boundary node, which
+    // per the algorithm broadcasts at maximum power.
+    res.level_powers.push_back(power.max_power());
+    res.final_power = power.max_power();
+    res.boundary = true;
+  }
+  return res;
+}
+
+}  // namespace
+
+cbtc_result run_cbtc(std::span<const geom::vec2> positions, const radio::power_model& power,
+                     const cbtc_params& params) {
+  if (params.alpha <= 0.0 || params.alpha >= geom::two_pi)
+    throw std::invalid_argument("run_cbtc: alpha must be in (0, 2*pi)");
+  if (params.increase_factor <= 1.0)
+    throw std::invalid_argument("run_cbtc: increase_factor must be > 1");
+
+  const double p0 =
+      params.initial_power > 0.0 ? params.initial_power : power.required_power(power.max_range() / 16.0);
+
+  cbtc_result result;
+  result.params = params;
+  result.nodes.reserve(positions.size());
+  if (positions.empty()) return result;
+
+  const geom::spatial_grid grid(positions, power.max_range());
+  for (node_id u = 0; u < positions.size(); ++u) {
+    const std::vector<candidate> cands = candidates_of(u, positions, grid, power.max_range());
+    result.nodes.push_back(params.mode == growth_mode::discrete
+                               ? run_discrete(cands, power, params, p0)
+                               : run_continuous(cands, power, params));
+  }
+  return result;
+}
+
+}  // namespace cbtc::algo

@@ -1,0 +1,87 @@
+#include "algo/pairwise.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "geom/angle.h"
+
+namespace cbtc::algo {
+
+edge_id edge_id::of(graph::node_id u, graph::node_id v, std::span<const geom::vec2> positions) {
+  return {geom::distance(positions[u], positions[v]), std::max(u, v), std::min(u, v)};
+}
+
+namespace {
+
+/// True if some neighbor w of `apex` witnesses the redundancy of the
+/// edge (apex, other): angle(other, apex, w) < pi/3 and smaller eid.
+bool has_witness(const graph::undirected_graph& g, std::span<const geom::vec2> positions,
+                 graph::node_id apex, graph::node_id other) {
+  const edge_id eid_uv = edge_id::of(apex, other, positions);
+  if (eid_uv.length == 0.0) return false;  // zero-length edges are never redundant
+  const double dir_other = (positions[other] - positions[apex]).bearing();
+  for (graph::node_id w : g.neighbors(apex)) {
+    if (w == other) continue;
+    // A coincident witness has no meaningful bearing and violates the
+    // strict-triangle argument of Theorem 3.6 (d(w,v) would equal
+    // d(u,v), not undercut it); skip it.
+    if (positions[w] == positions[apex]) continue;
+    const double dir_w = (positions[w] - positions[apex]).bearing();
+    // Strictly less than pi/3 (Definition 3.5), with last-ulp guard.
+    if (geom::angle_dist(dir_other, dir_w) >= geom::pi / 3.0 - 1e-12) continue;
+    if (edge_id::of(apex, w, positions) < eid_uv) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_redundant_edge(const graph::undirected_graph& g, std::span<const geom::vec2> positions,
+                       graph::node_id u, graph::node_id v) {
+  return has_witness(g, positions, u, v) || has_witness(g, positions, v, u);
+}
+
+pairwise_result apply_pairwise_removal(const graph::undirected_graph& g,
+                                       std::span<const geom::vec2> positions,
+                                       const pairwise_options& opts) {
+  pairwise_result res;
+  const std::vector<graph::edge> edges = g.edges();
+  std::vector<bool> redundant(edges.size(), false);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    redundant[i] = is_redundant_edge(g, positions, edges[i].u, edges[i].v);
+    if (redundant[i]) ++res.redundant_edges;
+  }
+
+  // Longest non-redundant edge incident to each node: removing only
+  // redundant edges longer than this cannot increase any node's radius
+  // and brings every node's radius down to exactly this length.
+  std::vector<double> longest_needed(g.num_nodes(), 0.0);
+  if (!opts.remove_all) {
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (redundant[i]) continue;
+      const double len = geom::distance(positions[edges[i].u], positions[edges[i].v]);
+      longest_needed[edges[i].u] = std::max(longest_needed[edges[i].u], len);
+      longest_needed[edges[i].v] = std::max(longest_needed[edges[i].v], len);
+    }
+  }
+
+  res.topology = graph::undirected_graph(g.num_nodes());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto [u, v] = edges[i];
+    bool drop = redundant[i];
+    if (drop && !opts.remove_all) {
+      const double len = geom::distance(positions[u], positions[v]);
+      drop = opts.gate == pairwise_gate::either_endpoint
+                 ? (len > longest_needed[u] || len > longest_needed[v])
+                 : (len > longest_needed[u] && len > longest_needed[v]);
+    }
+    if (drop) {
+      ++res.removed_edges;
+    } else {
+      res.topology.add_edge(u, v);
+    }
+  }
+  return res;
+}
+
+}  // namespace cbtc::algo

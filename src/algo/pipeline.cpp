@@ -1,0 +1,25 @@
+#include "algo/pipeline.h"
+
+namespace cbtc::algo {
+
+topology_result build_topology(std::span<const geom::vec2> positions,
+                               const radio::power_model& power, const cbtc_params& params,
+                               const optimization_set& opts) {
+  topology_result out;
+  cbtc_result grown = run_cbtc(positions, power, params);
+  out.growth = opts.shrink_back ? apply_shrink_back(grown) : std::move(grown);
+
+  out.asymmetric_applied = opts.asymmetric_removal && asymmetric_removal_applicable(params.alpha);
+  out.topology =
+      out.asymmetric_applied ? out.growth.symmetric_core() : out.growth.symmetric_closure();
+
+  if (opts.pairwise_removal) {
+    pairwise_result pr = apply_pairwise_removal(out.topology, positions, opts.pairwise);
+    out.topology = std::move(pr.topology);
+    out.redundant_edges = pr.redundant_edges;
+    out.removed_edges = pr.removed_edges;
+  }
+  return out;
+}
+
+}  // namespace cbtc::algo

@@ -1,0 +1,54 @@
+// End-to-end topology construction: CBTC growth + optional optimizations.
+//
+// This is the main entry point of the library: it strings together the
+// basic algorithm (Section 2) and the three optimizations (Section 3)
+// in the order the paper composes them:
+//   growth -> shrink-back (op1) -> asymmetric removal (op2, alpha <=
+//   2*pi/3 only) -> pairwise removal (op3).
+#pragma once
+
+#include <span>
+
+#include "algo/oracle.h"
+#include "algo/pairwise.h"
+#include "algo/params.h"
+#include "algo/shrink_back.h"
+#include "geom/vec2.h"
+#include "graph/graph.h"
+#include "radio/power_model.h"
+
+namespace cbtc::algo {
+
+struct optimization_set {
+  bool shrink_back{false};
+  /// Requested asymmetric edge removal; silently skipped when
+  /// alpha > 2*pi/3 (the paper's "all applicable optimizations").
+  bool asymmetric_removal{false};
+  bool pairwise_removal{false};
+  pairwise_options pairwise{};
+
+  [[nodiscard]] static optimization_set none() { return {}; }
+  [[nodiscard]] static optimization_set all() {
+    return {.shrink_back = true, .asymmetric_removal = true, .pairwise_removal = true};
+  }
+};
+
+struct topology_result {
+  /// Growth outcome after shrink-back (== raw growth if op1 disabled).
+  cbtc_result growth;
+  /// The final symmetric topology.
+  graph::undirected_graph topology;
+  /// Whether op2 actually ran (requested *and* alpha <= 2*pi/3).
+  bool asymmetric_applied{false};
+  /// op3 statistics (zeros if op3 disabled).
+  std::size_t redundant_edges{0};
+  std::size_t removed_edges{0};
+};
+
+/// Runs CBTC(alpha) and the selected optimizations over `positions`.
+[[nodiscard]] topology_result build_topology(std::span<const geom::vec2> positions,
+                                             const radio::power_model& power,
+                                             const cbtc_params& params,
+                                             const optimization_set& opts = {});
+
+}  // namespace cbtc::algo

@@ -1,0 +1,66 @@
+#include "algo/shrink_back.h"
+
+#include <algorithm>
+
+#include "geom/arc_set.h"
+
+namespace cbtc::algo {
+
+namespace {
+
+node_result shrink_node(const node_result& in, double alpha, const shrink_back_options& opts) {
+  if (in.neighbors.empty() || in.level_powers.size() <= 1) return in;
+
+  const std::vector<double> all_dirs = in.directions();
+  const geom::arc_set full_cover = geom::arc_set::cover(all_dirs, alpha);
+
+  // dir_i = directions discovered at level <= i; find the minimum i with
+  // cover_alpha(dir_i) == cover_alpha(dir_k). Neighbors are not sorted
+  // by level (they are sorted by distance), so accumulate per level.
+  const std::size_t num_levels = in.level_powers.size();
+  std::vector<std::vector<double>> dirs_at_level(num_levels);
+  for (const neighbor_record& r : in.neighbors) {
+    if (r.distance > 0.0) dirs_at_level[r.level].push_back(r.direction);  // coincident: no bearing
+  }
+
+  std::vector<double> prefix_dirs;
+  std::size_t keep_level = num_levels - 1;
+  for (std::size_t i = 0; i < num_levels; ++i) {
+    prefix_dirs.insert(prefix_dirs.end(), dirs_at_level[i].begin(), dirs_at_level[i].end());
+    const geom::arc_set cover_i = geom::arc_set::cover(prefix_dirs, alpha);
+    if (cover_i.approx_equals(full_cover, opts.cover_epsilon)) {
+      keep_level = i;
+      break;
+    }
+  }
+  if (keep_level == num_levels - 1) return in;
+
+  node_result out;
+  out.boundary = in.boundary;
+  out.level_powers.assign(in.level_powers.begin(),
+                          in.level_powers.begin() + static_cast<std::ptrdiff_t>(keep_level) + 1);
+  out.final_power = out.level_powers.back();
+  out.neighbors.reserve(in.neighbors.size());
+  for (const neighbor_record& r : in.neighbors) {
+    if (r.level <= keep_level) out.neighbors.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace
+
+cbtc_result apply_shrink_back(const cbtc_result& in, const shrink_back_options& opts) {
+  cbtc_result out;
+  out.params = in.params;
+  out.nodes.reserve(in.nodes.size());
+  for (const node_result& n : in.nodes) {
+    if (opts.boundary_only && !n.boundary) {
+      out.nodes.push_back(n);
+    } else {
+      out.nodes.push_back(shrink_node(n, in.params.alpha, opts));
+    }
+  }
+  return out;
+}
+
+}  // namespace cbtc::algo

@@ -1,0 +1,55 @@
+// Position-based topology-control baselines.
+//
+// The paper's Table 1 compares CBTC against no-topology-control (every
+// node at maximum power). Its related-work section points at the
+// geometric proximity graphs these functions implement — all of which
+// *require position information*, which is exactly what CBTC avoids:
+//
+//   - Euclidean MST: the sparsest connected topology (global optimum
+//     for maximum edge length), but inherently centralized.
+//   - Relative Neighborhood Graph (Toussaint 80): keep (u,v) unless
+//     some witness w is closer to both endpoints.
+//   - Gabriel graph: keep (u,v) unless a witness lies in the circle
+//     with diameter uv.
+//   - Yao / theta-graph (Hassin-Peleg style cone graphs): keep the
+//     nearest neighbor in each of k cones — the position-based cousin
+//     of CBTC's cone coverage.
+//   - k-nearest-neighbor graph: the classic strawman; does not
+//     guarantee connectivity.
+//
+// All constructions are restricted to edges of G_R (length <= R), so
+// every output is a legal radio topology.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "geom/vec2.h"
+#include "graph/graph.h"
+
+namespace cbtc::baselines {
+
+/// Euclidean minimum spanning forest of G_R (Kruskal). One tree per
+/// G_R component, so connectivity is preserved exactly.
+[[nodiscard]] graph::undirected_graph euclidean_mst(std::span<const geom::vec2> positions,
+                                                    double max_range);
+
+/// Relative neighborhood graph intersected with G_R.
+[[nodiscard]] graph::undirected_graph relative_neighborhood_graph(
+    std::span<const geom::vec2> positions, double max_range);
+
+/// Gabriel graph intersected with G_R.
+[[nodiscard]] graph::undirected_graph gabriel_graph(std::span<const geom::vec2> positions,
+                                                    double max_range);
+
+/// Yao graph with `cones` sectors (symmetric closure), intersected
+/// with G_R: each node keeps its nearest neighbor in every cone of
+/// angle 2*pi/cones.
+[[nodiscard]] graph::undirected_graph yao_graph(std::span<const geom::vec2> positions,
+                                                double max_range, std::size_t cones);
+
+/// k-nearest-neighbor graph (symmetric closure), intersected with G_R.
+[[nodiscard]] graph::undirected_graph knn_graph(std::span<const geom::vec2> positions,
+                                                double max_range, std::size_t k);
+
+}  // namespace cbtc::baselines

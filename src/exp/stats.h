@@ -1,0 +1,32 @@
+// Summary statistics over repeated experiment runs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cbtc::exp {
+
+/// Streaming accumulator: mean / min / max / stddev.
+class summary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double stddev() const;
+
+ private:
+  std::size_t n_{0};
+  double sum_{0.0};
+  double sum_sq_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Percentile (0..100) by nearest-rank on a copy of the data.
+[[nodiscard]] double percentile(std::vector<double> values, double pct);
+
+}  // namespace cbtc::exp

@@ -1,0 +1,48 @@
+#include "exp/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace cbtc::exp {
+
+table::table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << std::left << std::setw(static_cast<int>(width[c])) << cell << " | ";
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace cbtc::exp

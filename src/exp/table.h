@@ -1,0 +1,27 @@
+// Plain-text aligned tables for bench output (paper-vs-measured rows).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cbtc::exp {
+
+class table {
+ public:
+  explicit table(std::vector<std::string> headers);
+
+  /// Adds a row; missing cells render empty, extra cells are dropped.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  [[nodiscard]] static std::string num(double v, int precision = 1);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cbtc::exp

@@ -1,0 +1,42 @@
+// Canonical experiment workloads.
+//
+// Section 5 of the paper: "we generated 100 random networks, each with
+// 100 nodes... randomly placed in a 1500 x 1500 rectangular region.
+// Each node has a maximum transmission radius of 500."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/bbox.h"
+#include "geom/random_points.h"
+#include "geom/vec2.h"
+#include "radio/power_model.h"
+
+namespace cbtc::exp {
+
+struct workload_params {
+  std::size_t nodes{100};
+  double region_side{1500.0};
+  double max_range{500.0};
+  double path_loss_exponent{2.0};
+  std::size_t networks{100};
+  std::uint64_t base_seed{20010601};  // PODC 2001; any fixed seed works
+};
+
+/// The paper's Section 5 workload.
+[[nodiscard]] inline workload_params paper_workload() { return {}; }
+
+/// Positions for network number `i` of the workload.
+[[nodiscard]] inline std::vector<geom::vec2> network_positions(const workload_params& w,
+                                                               std::size_t i) {
+  return geom::uniform_points(w.nodes, geom::bbox::rect(w.region_side, w.region_side),
+                              w.base_seed + i);
+}
+
+/// Power model for the workload.
+[[nodiscard]] inline radio::power_model workload_power(const workload_params& w) {
+  return radio::power_model(w.path_loss_exponent, w.max_range);
+}
+
+}  // namespace cbtc::exp

@@ -1,0 +1,132 @@
+#include "geom/arc_set.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/angle.h"
+
+namespace cbtc::geom {
+
+double arc::length() const { return norm_angle(hi - lo) == 0.0 && lo != hi ? two_pi : norm_angle(hi - lo); }
+
+namespace {
+
+// Splits a (possibly wrapping) arc into non-wrapping [lo, hi] pieces
+// with lo <= hi on the real line [0, 2*pi].
+void unroll(const arc& a, std::vector<arc>& out) {
+  const double lo = norm_angle(a.lo);
+  const double hi = norm_angle(a.hi);
+  if (lo <= hi) {
+    out.push_back({lo, hi});
+  } else {
+    out.push_back({lo, two_pi});
+    out.push_back({0.0, hi});
+  }
+}
+
+}  // namespace
+
+arc_set arc_set::from_arcs(std::span<const arc> arcs) {
+  arc_set result;
+  if (arcs.empty()) return result;
+
+  std::vector<arc> flat;
+  flat.reserve(arcs.size() * 2);
+  for (const arc& a : arcs) unroll(a, flat);
+  std::sort(flat.begin(), flat.end(),
+            [](const arc& a, const arc& b) { return a.lo < b.lo || (a.lo == b.lo && a.hi < b.hi); });
+
+  std::vector<arc> merged;
+  for (const arc& a : flat) {
+    if (!merged.empty() && a.lo <= merged.back().hi) {
+      merged.back().hi = std::max(merged.back().hi, a.hi);
+    } else {
+      merged.push_back(a);
+    }
+  }
+
+  // Re-join a piece ending at 2*pi with a piece starting at 0 (wrap).
+  if (merged.size() >= 2 && merged.front().lo == 0.0 && merged.back().hi >= two_pi) {
+    if (merged.back().lo <= merged.front().hi + 0.0) {
+      // Entire circle covered.
+      result.full_ = true;
+      return result;
+    }
+    // Merge into a single wrapping arc.
+    arc wrap{merged.back().lo, merged.front().hi};
+    merged.pop_back();
+    merged.erase(merged.begin());
+    merged.push_back(wrap);
+  } else if (merged.size() == 1 && merged.front().lo == 0.0 && merged.front().hi >= two_pi) {
+    result.full_ = true;
+    return result;
+  }
+
+  // Normalize endpoints back into [0, 2*pi).
+  for (arc& a : merged) {
+    if (a.hi >= two_pi && a.lo > 0.0) a.hi -= two_pi;  // wrapping arc
+    else if (a.hi >= two_pi) a.hi = two_pi;            // should not happen after the checks above
+  }
+
+  // Canonical order by normalized lo.
+  std::sort(merged.begin(), merged.end(), [](const arc& a, const arc& b) { return a.lo < b.lo; });
+  result.arcs_ = std::move(merged);
+  return result;
+}
+
+arc_set arc_set::cover(std::span<const double> directions, double alpha) {
+  if (alpha >= two_pi && !directions.empty()) return full_circle();
+  std::vector<arc> arcs;
+  arcs.reserve(directions.size());
+  const double half = alpha / 2.0;
+  for (double d : directions) {
+    const double c = norm_angle(d);
+    arcs.push_back({norm_angle(c - half), norm_angle(c + half)});
+  }
+  return from_arcs(arcs);
+}
+
+arc_set arc_set::full_circle() {
+  arc_set s;
+  s.full_ = true;
+  return s;
+}
+
+double arc_set::measure() const {
+  if (full_) return two_pi;
+  double total = 0.0;
+  for (const arc& a : arcs_) {
+    const double len = norm_angle(a.hi - a.lo);
+    total += (len == 0.0 && a.lo != a.hi) ? two_pi : len;
+  }
+  return std::min(total, two_pi);
+}
+
+bool arc_set::contains(double theta) const {
+  if (full_) return true;
+  const double t = norm_angle(theta);
+  for (const arc& a : arcs_) {
+    if (angle_in_ccw_arc(t, a.lo, a.hi)) return true;
+  }
+  return false;
+}
+
+bool arc_set::approx_equals(const arc_set& other, double eps) const {
+  if (full_ || other.full_) {
+    // Accept "full vs almost-full": every arc endpoint mismatch must be
+    // within eps, which for a full circle means the other set's measure
+    // is within arcs-count * eps of 2*pi.
+    const arc_set& partial = full_ ? other : *this;
+    if (partial.full_) return true;
+    const double slack = eps * std::max<std::size_t>(1, partial.arcs_.size()) * 2.0;
+    return partial.measure() >= two_pi - slack;
+  }
+  if (arcs_.size() != other.arcs_.size()) return false;
+  for (std::size_t i = 0; i < arcs_.size(); ++i) {
+    if (angle_dist(arcs_[i].lo, other.arcs_[i].lo) > eps) return false;
+    if (angle_dist(arcs_[i].hi, other.arcs_[i].hi) > eps) return false;
+  }
+  return true;
+}
+
+}  // namespace cbtc::geom

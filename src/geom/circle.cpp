@@ -1,0 +1,29 @@
+#include "geom/circle.h"
+
+#include <cmath>
+
+namespace cbtc::geom {
+
+double circle::boundary_distance(const vec2& p) const {
+  return distance(center, p) - radius;
+}
+
+std::optional<std::pair<vec2, vec2>> intersect(const circle& a, const circle& b) {
+  const vec2 d = b.center - a.center;
+  const double dist = d.norm();
+  if (dist == 0.0) return std::nullopt;  // concentric (or identical)
+  if (dist > a.radius + b.radius) return std::nullopt;
+  if (dist < std::abs(a.radius - b.radius)) return std::nullopt;  // one inside the other
+
+  // Distance from a.center to the chord midpoint along d.
+  const double x = (dist * dist - b.radius * b.radius + a.radius * a.radius) / (2.0 * dist);
+  const double h_sq = a.radius * a.radius - x * x;
+  const double h = h_sq > 0.0 ? std::sqrt(h_sq) : 0.0;
+
+  const vec2 u = d / dist;
+  const vec2 mid = a.center + x * u;
+  const vec2 perp{-u.y, u.x};
+  return std::make_pair(mid + h * perp, mid - h * perp);
+}
+
+}  // namespace cbtc::geom

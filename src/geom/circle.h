@@ -1,0 +1,31 @@
+// Circles and circle-circle intersection.
+//
+// Used by the Figure 5 counterexample construction, where s and s' are
+// the intersection points of the radius-R circles centered at u0 and v0.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "geom/vec2.h"
+
+namespace cbtc::geom {
+
+/// circ(c, r): the circle centered at `c` with radius `r`.
+struct circle {
+  vec2 center;
+  double radius{0.0};
+
+  [[nodiscard]] bool contains(const vec2& p) const {
+    return distance_sq(center, p) <= radius * radius;
+  }
+  /// Signed distance of `p` to the circle boundary (negative inside).
+  [[nodiscard]] double boundary_distance(const vec2& p) const;
+};
+
+/// The (up to two) intersection points of two circles. Returns
+/// std::nullopt when the circles do not intersect (or are identical).
+/// When tangent, both points coincide.
+[[nodiscard]] std::optional<std::pair<vec2, vec2>> intersect(const circle& a, const circle& b);
+
+}  // namespace cbtc::geom

@@ -1,0 +1,38 @@
+// Cones in the plane, as used throughout the paper's proofs.
+//
+// cone(u, alpha, v) is the cone of degree `alpha` with apex `u`,
+// bisected by the ray from `u` through `v` (Figure 3 of the paper).
+#pragma once
+
+#include "geom/angle.h"
+#include "geom/vec2.h"
+
+namespace cbtc::geom {
+
+/// An infinite cone with apex `apex`, axis bearing `axis` and full
+/// opening angle `alpha` (the cone spans [axis - alpha/2, axis + alpha/2]).
+struct cone {
+  vec2 apex;
+  double axis{0.0};
+  double alpha{0.0};
+
+  /// The cone of degree `alpha` with apex `u` bisected by the line u->v.
+  [[nodiscard]] static cone bisected_by(const vec2& u, double alpha, const vec2& v) {
+    return {u, (v - u).bearing(), alpha};
+  }
+
+  /// True if point `p` lies inside the (closed) cone. The apex itself
+  /// is considered inside.
+  [[nodiscard]] bool contains(const vec2& p) const {
+    const vec2 d = p - apex;
+    if (d.norm_sq() == 0.0) return true;
+    return angle_dist(d.bearing(), axis) <= alpha / 2.0;
+  }
+
+  /// True if a direction (bearing from the apex) lies inside the cone.
+  [[nodiscard]] bool contains_direction(double bearing) const {
+    return angle_dist(bearing, axis) <= alpha / 2.0;
+  }
+};
+
+}  // namespace cbtc::geom

@@ -1,0 +1,63 @@
+#include "geom/random_points.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cbtc::geom {
+
+std::vector<vec2> uniform_points(std::size_t n, const bbox& region, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> ux(region.min.x, region.max.x);
+  std::uniform_real_distribution<double> uy(region.min.y, region.max.y);
+  std::vector<vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) pts.push_back({ux(rng), uy(rng)});
+  return pts;
+}
+
+std::vector<vec2> clustered_points(std::size_t n, std::size_t clusters, double sigma,
+                                   const bbox& region, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> ux(region.min.x, region.max.x);
+  std::uniform_real_distribution<double> uy(region.min.y, region.max.y);
+  std::normal_distribution<double> gauss(0.0, sigma);
+
+  std::vector<vec2> centers;
+  centers.reserve(std::max<std::size_t>(1, clusters));
+  for (std::size_t c = 0; c < std::max<std::size_t>(1, clusters); ++c) {
+    centers.push_back({ux(rng), uy(rng)});
+  }
+
+  std::vector<vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const vec2& c = centers[i % centers.size()];
+    pts.push_back(region.clamp({c.x + gauss(rng), c.y + gauss(rng)}));
+  }
+  return pts;
+}
+
+std::vector<vec2> jittered_grid_points(std::size_t n, double jitter, const bbox& region,
+                                       std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const double aspect = region.width() / region.height();
+  const auto cols = static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n) * aspect)));
+  const auto rows = static_cast<std::size_t>(std::ceil(static_cast<double>(n) / static_cast<double>(cols)));
+  const double px = region.width() / static_cast<double>(cols);
+  const double py = region.height() / static_cast<double>(rows);
+  std::uniform_real_distribution<double> jx(-jitter * px, jitter * px);
+  std::uniform_real_distribution<double> jy(-jitter * py, jitter * py);
+
+  std::vector<vec2> pts;
+  pts.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows && pts.size() < n; ++r) {
+    for (std::size_t c = 0; c < cols && pts.size() < n; ++c) {
+      const vec2 base{region.min.x + (static_cast<double>(c) + 0.5) * px,
+                      region.min.y + (static_cast<double>(r) + 0.5) * py};
+      pts.push_back(region.clamp({base.x + jx(rng), base.y + jy(rng)}));
+    }
+  }
+  return pts;
+}
+
+}  // namespace cbtc::geom

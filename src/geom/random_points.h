@@ -1,0 +1,31 @@
+// Deterministic random node placement.
+//
+// The paper's evaluation places 100 nodes uniformly at random in a
+// 1500 x 1500 region (Section 5). All generators take an explicit seed
+// so every experiment is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "geom/bbox.h"
+#include "geom/vec2.h"
+
+namespace cbtc::geom {
+
+/// `n` points uniform in `region`.
+[[nodiscard]] std::vector<vec2> uniform_points(std::size_t n, const bbox& region, std::uint64_t seed);
+
+/// `n` points in gaussian clusters: `clusters` centers uniform in the
+/// region, points assigned round-robin with standard deviation `sigma`
+/// (clamped to the region). Models non-uniform sensor deployments.
+[[nodiscard]] std::vector<vec2> clustered_points(std::size_t n, std::size_t clusters, double sigma,
+                                                 const bbox& region, std::uint64_t seed);
+
+/// Roughly `n` points on a jittered grid: grid pitch chosen so that
+/// ~n cells fit in the region, each point perturbed by +-jitter*pitch.
+[[nodiscard]] std::vector<vec2> jittered_grid_points(std::size_t n, double jitter, const bbox& region,
+                                                     std::uint64_t seed);
+
+}  // namespace cbtc::geom

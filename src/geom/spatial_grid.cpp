@@ -1,0 +1,91 @@
+#include "geom/spatial_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cbtc::geom {
+
+spatial_grid::spatial_grid(std::span<const vec2> points, double cell_size)
+    : points_(points.begin(), points.end()), cell_(cell_size) {
+  if (cell_size <= 0.0) throw std::invalid_argument("spatial_grid: cell_size must be positive");
+
+  if (points_.empty()) {
+    nx_ = ny_ = 1;
+    cell_start_.assign(2, 0);
+    return;
+  }
+
+  bounds_.min = bounds_.max = points_[0];
+  for (const vec2& p : points_) {
+    bounds_.min.x = std::min(bounds_.min.x, p.x);
+    bounds_.min.y = std::min(bounds_.min.y, p.y);
+    bounds_.max.x = std::max(bounds_.max.x, p.x);
+    bounds_.max.y = std::max(bounds_.max.y, p.y);
+  }
+  nx_ = std::max<std::int64_t>(1, static_cast<std::int64_t>(bounds_.width() / cell_) + 1);
+  ny_ = std::max<std::int64_t>(1, static_cast<std::int64_t>(bounds_.height() / cell_) + 1);
+
+  const std::size_t ncells = static_cast<std::size_t>(nx_ * ny_);
+  std::vector<std::uint32_t> counts(ncells, 0);
+  auto cell_index = [&](const vec2& p) {
+    const std::int64_t cx = std::min(cell_of(p.x, bounds_.min.x), nx_ - 1);
+    const std::int64_t cy = std::min(cell_of(p.y, bounds_.min.y), ny_ - 1);
+    return static_cast<std::size_t>(cy * nx_ + cx);
+  };
+  for (const vec2& p : points_) ++counts[cell_index(p)];
+
+  cell_start_.assign(ncells + 1, 0);
+  for (std::size_t c = 0; c < ncells; ++c) cell_start_[c + 1] = cell_start_[c] + counts[c];
+  cell_points_.resize(points_.size());
+  std::vector<std::uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (point_index i = 0; i < points_.size(); ++i) {
+    cell_points_[cursor[cell_index(points_[i])]++] = i;
+  }
+}
+
+std::int64_t spatial_grid::cell_of(double x, double lo) const {
+  return static_cast<std::int64_t>(std::floor((x - lo) / cell_));
+}
+
+std::vector<point_index> spatial_grid::query_radius(const vec2& center, double radius,
+                                                    point_index exclude) const {
+  std::vector<point_index> out;
+  query_radius_into(center, radius, exclude, out);
+  return out;
+}
+
+void spatial_grid::query_radius_into(const vec2& center, double radius, point_index exclude,
+                                     std::vector<point_index>& out) const {
+  if (points_.empty() || radius < 0.0) return;
+  const double r_sq = radius * radius;
+
+  const std::int64_t cx_lo = std::clamp(cell_of(center.x - radius, bounds_.min.x), std::int64_t{0}, nx_ - 1);
+  const std::int64_t cx_hi = std::clamp(cell_of(center.x + radius, bounds_.min.x), std::int64_t{0}, nx_ - 1);
+  const std::int64_t cy_lo = std::clamp(cell_of(center.y - radius, bounds_.min.y), std::int64_t{0}, ny_ - 1);
+  const std::int64_t cy_hi = std::clamp(cell_of(center.y + radius, bounds_.min.y), std::int64_t{0}, ny_ - 1);
+
+  for (std::int64_t cy = cy_lo; cy <= cy_hi; ++cy) {
+    for (std::int64_t cx = cx_lo; cx <= cx_hi; ++cx) {
+      const std::size_t c = static_cast<std::size_t>(cy * nx_ + cx);
+      for (std::uint32_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+        const point_index i = cell_points_[k];
+        if (i == exclude) continue;
+        if (distance_sq(points_[i], center) <= r_sq) out.push_back(i);
+      }
+    }
+  }
+}
+
+std::vector<point_index> brute_force_radius_query(std::span<const vec2> points, const vec2& center,
+                                                  double radius, point_index exclude) {
+  std::vector<point_index> out;
+  const double r_sq = radius * radius;
+  for (point_index i = 0; i < points.size(); ++i) {
+    if (i == exclude) continue;
+    if (distance_sq(points[i], center) <= r_sq) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace cbtc::geom

@@ -1,0 +1,15 @@
+#include "geom/vec2.h"
+
+#include <ostream>
+
+#include "geom/angle.h"
+
+namespace cbtc::geom {
+
+double vec2::bearing() const { return norm_angle(std::atan2(y, x)); }
+
+std::ostream& operator<<(std::ostream& os, const vec2& v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+}  // namespace cbtc::geom

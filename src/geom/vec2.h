@@ -1,0 +1,92 @@
+// 2-D vector / point type used throughout the library.
+//
+// Positions are points in the Euclidean plane (the paper's model places
+// every node at coordinates (x(u), y(u))). All angles are radians.
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+namespace cbtc::geom {
+
+/// A 2-D vector (also used as a point in the plane).
+struct vec2 {
+  double x{0.0};
+  double y{0.0};
+
+  constexpr vec2() = default;
+  constexpr vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr vec2& operator+=(const vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr vec2& operator-=(const vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+  constexpr vec2& operator/=(double s) {
+    x /= s;
+    y /= s;
+    return *this;
+  }
+
+  [[nodiscard]] friend constexpr vec2 operator+(vec2 a, const vec2& b) { return a += b; }
+  [[nodiscard]] friend constexpr vec2 operator-(vec2 a, const vec2& b) { return a -= b; }
+  [[nodiscard]] friend constexpr vec2 operator*(vec2 a, double s) { return a *= s; }
+  [[nodiscard]] friend constexpr vec2 operator*(double s, vec2 a) { return a *= s; }
+  [[nodiscard]] friend constexpr vec2 operator/(vec2 a, double s) { return a /= s; }
+  [[nodiscard]] friend constexpr vec2 operator-(const vec2& a) { return {-a.x, -a.y}; }
+  [[nodiscard]] friend constexpr bool operator==(const vec2& a, const vec2& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+
+  /// Dot product.
+  [[nodiscard]] constexpr double dot(const vec2& o) const { return x * o.x + y * o.y; }
+  /// 2-D cross product (z component of the 3-D cross product).
+  [[nodiscard]] constexpr double cross(const vec2& o) const { return x * o.y - y * o.x; }
+  /// Squared Euclidean norm.
+  [[nodiscard]] constexpr double norm_sq() const { return x * x + y * y; }
+  /// Euclidean norm.
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+  /// Unit vector in the same direction. Undefined for the zero vector.
+  [[nodiscard]] vec2 unit() const {
+    const double n = norm();
+    return {x / n, y / n};
+  }
+  /// Counterclockwise rotation by `theta` radians.
+  [[nodiscard]] vec2 rotated(double theta) const {
+    const double c = std::cos(theta);
+    const double s = std::sin(theta);
+    return {c * x - s * y, s * x + c * y};
+  }
+  /// Bearing of this vector in [0, 2*pi). Undefined for the zero vector.
+  [[nodiscard]] double bearing() const;
+};
+
+/// Euclidean distance between two points.
+[[nodiscard]] inline double distance(const vec2& a, const vec2& b) { return (b - a).norm(); }
+
+/// Squared Euclidean distance between two points.
+[[nodiscard]] constexpr double distance_sq(const vec2& a, const vec2& b) {
+  return (b - a).norm_sq();
+}
+
+/// Point at unit distance from the origin with the given bearing.
+[[nodiscard]] inline vec2 from_bearing(double theta) { return {std::cos(theta), std::sin(theta)}; }
+
+/// Point at distance `r` from `origin` with the given bearing.
+[[nodiscard]] inline vec2 polar(const vec2& origin, double r, double theta) {
+  return origin + r * from_bearing(theta);
+}
+
+std::ostream& operator<<(std::ostream& os, const vec2& v);
+
+}  // namespace cbtc::geom

@@ -1,0 +1,50 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+namespace cbtc::graph {
+
+bool digraph::add_arc(node_id u, node_id v) {
+  if (u == v) return false;
+  auto& list = out_[u];
+  const auto it = std::lower_bound(list.begin(), list.end(), v);
+  if (it != list.end() && *it == v) return false;
+  list.insert(it, v);
+  ++num_arcs_;
+  return true;
+}
+
+bool digraph::remove_arc(node_id u, node_id v) {
+  auto& list = out_[u];
+  const auto it = std::lower_bound(list.begin(), list.end(), v);
+  if (it == list.end() || *it != v) return false;
+  list.erase(it);
+  --num_arcs_;
+  return true;
+}
+
+bool digraph::has_arc(node_id u, node_id v) const {
+  if (u >= out_.size() || v >= out_.size()) return false;
+  const auto& list = out_[u];
+  return std::binary_search(list.begin(), list.end(), v);
+}
+
+undirected_graph digraph::symmetric_closure() const {
+  undirected_graph g(num_nodes());
+  for (node_id u = 0; u < out_.size(); ++u) {
+    for (node_id v : out_[u]) g.add_edge(u, v);
+  }
+  return g;
+}
+
+undirected_graph digraph::symmetric_core() const {
+  undirected_graph g(num_nodes());
+  for (node_id u = 0; u < out_.size(); ++u) {
+    for (node_id v : out_[u]) {
+      if (u < v && has_arc(v, u)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+}  // namespace cbtc::graph

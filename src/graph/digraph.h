@@ -1,0 +1,47 @@
+// Directed graph over dense node ids.
+//
+// The raw CBTC neighbor relation N_alpha is *directed* (Example 2.1 of
+// the paper shows it need not be symmetric). The paper derives two
+// undirected topologies from it:
+//   - E_alpha  = symmetric closure  (u,v) in N or (v,u) in N   (Section 2)
+//   - E-_alpha = symmetric core     (u,v) in N and (v,u) in N  (Section 3.2)
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace cbtc::graph {
+
+class digraph {
+ public:
+  digraph() = default;
+  explicit digraph(std::size_t num_nodes) : out_(num_nodes) {}
+
+  [[nodiscard]] std::size_t num_nodes() const { return out_.size(); }
+  [[nodiscard]] std::size_t num_arcs() const { return num_arcs_; }
+
+  /// Adds the arc u -> v; ignores duplicates and self-loops.
+  bool add_arc(node_id u, node_id v);
+  bool remove_arc(node_id u, node_id v);
+  [[nodiscard]] bool has_arc(node_id u, node_id v) const;
+
+  [[nodiscard]] std::span<const node_id> out_neighbors(node_id u) const { return out_[u]; }
+  [[nodiscard]] std::size_t out_degree(node_id u) const { return out_[u].size(); }
+
+  /// Symmetric closure: undirected edge {u,v} iff u->v or v->u.
+  [[nodiscard]] undirected_graph symmetric_closure() const;
+
+  /// Symmetric core: undirected edge {u,v} iff u->v and v->u.
+  [[nodiscard]] undirected_graph symmetric_core() const;
+
+  [[nodiscard]] friend bool operator==(const digraph&, const digraph&) = default;
+
+ private:
+  std::vector<std::vector<node_id>> out_;  // each list sorted ascending
+  std::size_t num_arcs_{0};
+};
+
+}  // namespace cbtc::graph

@@ -1,0 +1,36 @@
+#include "graph/euclidean.h"
+
+namespace cbtc::graph {
+
+undirected_graph build_max_power_graph(std::span<const geom::vec2> positions, double max_range) {
+  undirected_graph g(positions.size());
+  if (positions.empty() || max_range <= 0.0) return g;
+  const geom::spatial_grid grid(positions, max_range);
+  std::vector<geom::point_index> hits;
+  for (node_id u = 0; u < positions.size(); ++u) {
+    hits.clear();
+    grid.query_radius_into(positions[u], max_range, u, hits);
+    for (geom::point_index v : hits) {
+      if (u < v) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+undirected_graph build_max_power_graph_brute(std::span<const geom::vec2> positions,
+                                             double max_range) {
+  undirected_graph g(positions.size());
+  const double r_sq = max_range * max_range;
+  for (node_id u = 0; u < positions.size(); ++u) {
+    for (node_id v = u + 1; v < positions.size(); ++v) {
+      if (geom::distance_sq(positions[u], positions[v]) <= r_sq) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+double edge_length(std::span<const geom::vec2> positions, node_id u, node_id v) {
+  return geom::distance(positions[u], positions[v]);
+}
+
+}  // namespace cbtc::graph

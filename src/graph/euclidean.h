@@ -1,0 +1,30 @@
+// The max-power graph G_R and Euclidean edge helpers.
+//
+// G_R = (V, E) with E = {(u,v) : d(u,v) <= R} is the graph induced when
+// every node transmits at maximum power (Section 1 of the paper). It is
+// the connectivity baseline every topology-control output is compared
+// against.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/spatial_grid.h"
+#include "geom/vec2.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace cbtc::graph {
+
+/// Builds G_R with a spatial grid (O(n * k) for bounded density).
+[[nodiscard]] undirected_graph build_max_power_graph(std::span<const geom::vec2> positions,
+                                                     double max_range);
+
+/// Reference O(n^2) construction, used to cross-check the grid path.
+[[nodiscard]] undirected_graph build_max_power_graph_brute(std::span<const geom::vec2> positions,
+                                                           double max_range);
+
+/// Length of edge {u, v} under the given layout.
+[[nodiscard]] double edge_length(std::span<const geom::vec2> positions, node_id u, node_id v);
+
+}  // namespace cbtc::graph

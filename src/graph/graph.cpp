@@ -1,0 +1,69 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace cbtc::graph {
+
+namespace {
+
+bool sorted_insert(std::vector<node_id>& list, node_id v) {
+  const auto it = std::lower_bound(list.begin(), list.end(), v);
+  if (it != list.end() && *it == v) return false;
+  list.insert(it, v);
+  return true;
+}
+
+bool sorted_erase(std::vector<node_id>& list, node_id v) {
+  const auto it = std::lower_bound(list.begin(), list.end(), v);
+  if (it == list.end() || *it != v) return false;
+  list.erase(it);
+  return true;
+}
+
+}  // namespace
+
+bool undirected_graph::add_edge(node_id u, node_id v) {
+  if (u == v) return false;
+  if (!sorted_insert(adj_[u], v)) return false;
+  sorted_insert(adj_[v], u);
+  ++num_edges_;
+  return true;
+}
+
+bool undirected_graph::remove_edge(node_id u, node_id v) {
+  if (u == v) return false;
+  if (!sorted_erase(adj_[u], v)) return false;
+  sorted_erase(adj_[v], u);
+  --num_edges_;
+  return true;
+}
+
+bool undirected_graph::has_edge(node_id u, node_id v) const {
+  if (u >= adj_.size() || v >= adj_.size()) return false;
+  const auto& list = adj_[u];
+  return std::binary_search(list.begin(), list.end(), v);
+}
+
+undirected_graph undirected_graph::induced(const std::vector<bool>& mask) const {
+  undirected_graph g(num_nodes());
+  for (node_id u = 0; u < adj_.size(); ++u) {
+    if (u >= mask.size() || !mask[u]) continue;
+    for (node_id v : adj_[u]) {
+      if (u < v && v < mask.size() && mask[v]) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+std::vector<edge> undirected_graph::edges() const {
+  std::vector<edge> out;
+  out.reserve(num_edges_);
+  for (node_id u = 0; u < adj_.size(); ++u) {
+    for (node_id v : adj_[u]) {
+      if (u < v) out.push_back({u, v});
+    }
+  }
+  return out;
+}
+
+}  // namespace cbtc::graph

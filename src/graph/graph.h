@@ -1,0 +1,62 @@
+// Undirected graph over dense node ids.
+//
+// Topologies produced by CBTC and its optimizations are undirected
+// graphs (symmetric closures / symmetric cores of the neighbor
+// relation N_alpha). Adjacency lists are kept sorted so neighbor scans
+// and set operations are deterministic.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace cbtc::graph {
+
+/// An undirected edge with u < v canonically.
+struct edge {
+  node_id u{invalid_node};
+  node_id v{invalid_node};
+
+  [[nodiscard]] friend constexpr bool operator==(const edge&, const edge&) = default;
+};
+
+class undirected_graph {
+ public:
+  undirected_graph() = default;
+  explicit undirected_graph(std::size_t num_nodes) : adj_(num_nodes) {}
+
+  [[nodiscard]] std::size_t num_nodes() const { return adj_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+
+  /// Adds the undirected edge {u, v}; ignores duplicates and self-loops.
+  /// Returns true if the edge was newly inserted.
+  bool add_edge(node_id u, node_id v);
+
+  /// Removes the edge {u, v} if present; returns true if removed.
+  bool remove_edge(node_id u, node_id v);
+
+  [[nodiscard]] bool has_edge(node_id u, node_id v) const;
+  [[nodiscard]] std::span<const node_id> neighbors(node_id u) const {
+    return adj_[u];
+  }
+  [[nodiscard]] std::size_t degree(node_id u) const { return adj_[u].size(); }
+
+  /// All edges with u < v, sorted lexicographically.
+  [[nodiscard]] std::vector<edge> edges() const;
+
+  [[nodiscard]] friend bool operator==(const undirected_graph&, const undirected_graph&) = default;
+
+  /// Subgraph induced by the nodes with mask[u] == true (same node-id
+  /// space; masked-out nodes become isolated). Used for survivor
+  /// topologies after crash failures.
+  [[nodiscard]] undirected_graph induced(const std::vector<bool>& mask) const;
+
+ private:
+  std::vector<std::vector<node_id>> adj_;  // each list sorted ascending
+  std::size_t num_edges_{0};
+};
+
+}  // namespace cbtc::graph

@@ -1,0 +1,77 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "graph/euclidean.h"
+
+namespace cbtc::graph {
+
+void write_svg(std::ostream& os, const undirected_graph& g, std::span<const geom::vec2> positions,
+               const geom::bbox& region, const svg_style& style) {
+  const double margin = style.canvas_px * 0.04;
+  const double inner = style.canvas_px - 2.0 * margin;
+  const double sx = inner / region.width();
+  const double sy = inner / region.height();
+  auto px = [&](const geom::vec2& p) { return margin + (p.x - region.min.x) * sx; };
+  // SVG y grows downward; flip so plots match the paper's orientation.
+  auto py = [&](const geom::vec2& p) { return margin + (region.max.y - p.y) * sy; };
+
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << style.canvas_px << "\" height=\""
+     << style.canvas_px << "\" viewBox=\"0 0 " << style.canvas_px << ' ' << style.canvas_px
+     << "\">\n";
+  os << "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!style.title.empty()) {
+    os << "  <text x=\"" << margin << "\" y=\"" << margin * 0.75
+       << "\" font-family=\"sans-serif\" font-size=\"" << margin * 0.6 << "\">" << style.title
+       << "</text>\n";
+  }
+  os << "  <g stroke=\"" << style.edge_color << "\" stroke-width=\"1\">\n";
+  for (const edge& e : g.edges()) {
+    os << "    <line x1=\"" << px(positions[e.u]) << "\" y1=\"" << py(positions[e.u]) << "\" x2=\""
+       << px(positions[e.v]) << "\" y2=\"" << py(positions[e.v]) << "\"/>\n";
+  }
+  os << "  </g>\n";
+  os << "  <g fill=\"" << style.node_color << "\">\n";
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    os << "    <circle cx=\"" << px(positions[i]) << "\" cy=\"" << py(positions[i]) << "\" r=\""
+       << style.node_radius_px << "\"/>\n";
+    if (style.node_labels) {
+      os << "    <text x=\"" << px(positions[i]) + 3 << "\" y=\"" << py(positions[i]) - 3
+         << "\" font-family=\"sans-serif\" font-size=\"8\">" << i << "</text>\n";
+    }
+  }
+  os << "  </g>\n</svg>\n";
+}
+
+void write_dot(std::ostream& os, const undirected_graph& g, std::span<const geom::vec2> positions,
+               const std::string& name) {
+  os << "graph " << name << " {\n  node [shape=point];\n";
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    os << "  n" << i << " [pos=\"" << positions[i].x << ',' << positions[i].y << "!\"];\n";
+  }
+  for (const edge& e : g.edges()) {
+    os << "  n" << e.u << " -- n" << e.v << ";\n";
+  }
+  os << "}\n";
+}
+
+void write_edge_csv(std::ostream& os, const undirected_graph& g,
+                    std::span<const geom::vec2> positions) {
+  os << "u,v,length\n";
+  for (const edge& e : g.edges()) {
+    os << e.u << ',' << e.v << ',' << edge_length(positions, e.u, e.v) << '\n';
+  }
+}
+
+void save_svg(const std::string& path, const undirected_graph& g,
+              std::span<const geom::vec2> positions, const geom::bbox& region,
+              const svg_style& style) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("save_svg: cannot open " + path);
+  write_svg(f, g, positions, region, style);
+  if (!f) throw std::runtime_error("save_svg: write failed for " + path);
+}
+
+}  // namespace cbtc::graph

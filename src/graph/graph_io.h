@@ -1,0 +1,41 @@
+// Topology writers: SVG (Figure 6 reproduction), Graphviz DOT, CSV.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "geom/bbox.h"
+#include "geom/vec2.h"
+#include "graph/graph.h"
+
+namespace cbtc::graph {
+
+struct svg_style {
+  double canvas_px{600.0};     // output width/height in pixels
+  double node_radius_px{2.5};  // node marker size
+  bool node_labels{false};     // print node ids (as in the paper's plots)
+  std::string edge_color{"#2b6cb0"};
+  std::string node_color{"#1a202c"};
+  std::string title;
+};
+
+/// Writes the topology as a standalone SVG image, mapping `region` to
+/// the canvas. This regenerates the panels of the paper's Figure 6.
+void write_svg(std::ostream& os, const undirected_graph& g, std::span<const geom::vec2> positions,
+               const geom::bbox& region, const svg_style& style = {});
+
+/// Writes a Graphviz DOT file with position attributes.
+void write_dot(std::ostream& os, const undirected_graph& g, std::span<const geom::vec2> positions,
+               const std::string& name = "topology");
+
+/// Writes "u,v,length" rows.
+void write_edge_csv(std::ostream& os, const undirected_graph& g,
+                    std::span<const geom::vec2> positions);
+
+/// Convenience: writes an SVG file to `path`; throws on I/O failure.
+void save_svg(const std::string& path, const undirected_graph& g,
+              std::span<const geom::vec2> positions, const geom::bbox& region,
+              const svg_style& style = {});
+
+}  // namespace cbtc::graph

@@ -1,0 +1,126 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/shortest_path.h"
+#include "graph/traversal.h"
+
+namespace cbtc::graph {
+
+double average_degree(const undirected_graph& g) {
+  if (g.num_nodes() == 0) return 0.0;
+  return 2.0 * static_cast<double>(g.num_edges()) / static_cast<double>(g.num_nodes());
+}
+
+double node_radius(const undirected_graph& g, std::span<const geom::vec2> positions, node_id u,
+                   double isolated_radius) {
+  double r = 0.0;
+  bool any = false;
+  for (node_id v : g.neighbors(u)) {
+    r = std::max(r, geom::distance(positions[u], positions[v]));
+    any = true;
+  }
+  return any ? r : isolated_radius;
+}
+
+double average_radius(const undirected_graph& g, std::span<const geom::vec2> positions,
+                      double isolated_radius) {
+  if (g.num_nodes() == 0) return 0.0;
+  double total = 0.0;
+  for (node_id u = 0; u < g.num_nodes(); ++u) {
+    total += node_radius(g, positions, u, isolated_radius);
+  }
+  return total / static_cast<double>(g.num_nodes());
+}
+
+double max_radius(const undirected_graph& g, std::span<const geom::vec2> positions,
+                  double isolated_radius) {
+  double r = 0.0;
+  for (node_id u = 0; u < g.num_nodes(); ++u) {
+    r = std::max(r, node_radius(g, positions, u, isolated_radius));
+  }
+  return r;
+}
+
+std::vector<std::size_t> degree_histogram(const undirected_graph& g) {
+  std::size_t max_deg = 0;
+  for (node_id u = 0; u < g.num_nodes(); ++u) max_deg = std::max(max_deg, g.degree(u));
+  std::vector<std::size_t> hist(max_deg + 1, 0);
+  for (node_id u = 0; u < g.num_nodes(); ++u) ++hist[g.degree(u)];
+  return hist;
+}
+
+double average_power(const undirected_graph& g, std::span<const geom::vec2> positions,
+                     double exponent, double isolated_radius) {
+  if (g.num_nodes() == 0) return 0.0;
+  double total = 0.0;
+  for (node_id u = 0; u < g.num_nodes(); ++u) {
+    total += std::pow(node_radius(g, positions, u, isolated_radius), exponent);
+  }
+  return total / static_cast<double>(g.num_nodes());
+}
+
+namespace {
+
+stretch_stats stretch_impl(const undirected_graph& sparse, const undirected_graph& dense,
+                           std::size_t sample_sources,
+                           const std::function<std::vector<double>(const undirected_graph&, node_id)>& sssp) {
+  stretch_stats stats;
+  const std::size_t n = dense.num_nodes();
+  if (n == 0) return stats;
+  const std::size_t sources = std::min(sample_sources, n);
+  // Deterministic sampling: evenly spaced source ids.
+  const std::size_t step = std::max<std::size_t>(1, n / sources);
+
+  double total = 0.0;
+  double worst = 1.0;
+  std::size_t pairs = 0;
+  for (node_id s = 0; s < n; s = static_cast<node_id>(s + step)) {
+    const std::vector<double> dd = sssp(dense, s);
+    const std::vector<double> ds = sssp(sparse, s);
+    for (node_id t = 0; t < n; ++t) {
+      if (t == s) continue;
+      if (!std::isfinite(dd[t]) || dd[t] <= 0.0) continue;  // unreachable in dense graph
+      if (!std::isfinite(ds[t])) continue;                  // connectivity violation; skip here
+      const double ratio = ds[t] / dd[t];
+      total += ratio;
+      worst = std::max(worst, ratio);
+      ++pairs;
+    }
+  }
+  if (pairs > 0) {
+    stats.mean = total / static_cast<double>(pairs);
+    stats.max = worst;
+    stats.pairs = pairs;
+  }
+  return stats;
+}
+
+}  // namespace
+
+stretch_stats power_stretch(const undirected_graph& sparse, const undirected_graph& dense,
+                            const std::vector<geom::vec2>& positions, double exponent,
+                            std::size_t sample_sources) {
+  const edge_cost_fn cost = power_cost(positions, exponent);
+  return stretch_impl(sparse, dense, sample_sources,
+                      [&cost](const undirected_graph& g, node_id s) { return dijkstra(g, s, cost); });
+}
+
+stretch_stats hop_stretch(const undirected_graph& sparse, const undirected_graph& dense,
+                          std::size_t sample_sources) {
+  auto bfs_as_double = [](const undirected_graph& g, node_id s) {
+    const std::vector<std::uint32_t> d = bfs_distances(g, s);
+    std::vector<double> out(d.size());
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      out[i] = d[i] == std::numeric_limits<std::uint32_t>::max()
+                   ? std::numeric_limits<double>::infinity()
+                   : static_cast<double>(d[i]);
+    }
+    return out;
+  };
+  return stretch_impl(sparse, dense, sample_sources, bfs_as_double);
+}
+
+}  // namespace cbtc::graph

@@ -1,0 +1,62 @@
+#include "graph/position_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cbtc::graph {
+
+std::vector<geom::vec2> read_positions_csv(std::istream& is) {
+  std::vector<geom::vec2> positions;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Trim whitespace.
+    const auto first = line.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos) continue;
+    const auto last = line.find_last_not_of(" \t\r\n");
+    const std::string row = line.substr(first, last - first + 1);
+    if (row.empty() || row[0] == '#') continue;
+    if (line_no == 1 && row.find_first_of("0123456789") == std::string::npos) {
+      continue;  // header like "x,y"
+    }
+    const auto comma = row.find(',');
+    if (comma == std::string::npos) {
+      throw std::runtime_error("positions csv line " + std::to_string(line_no) +
+                               ": expected 'x,y', got '" + row + "'");
+    }
+    try {
+      std::size_t consumed = 0;
+      const double x = std::stod(row.substr(0, comma), &consumed);
+      const double y = std::stod(row.substr(comma + 1));
+      positions.push_back({x, y});
+      (void)consumed;
+    } catch (const std::exception&) {
+      throw std::runtime_error("positions csv line " + std::to_string(line_no) +
+                               ": malformed number in '" + row + "'");
+    }
+  }
+  return positions;
+}
+
+std::vector<geom::vec2> load_positions_csv(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("load_positions_csv: cannot open " + path);
+  return read_positions_csv(f);
+}
+
+void write_positions_csv(std::ostream& os, const std::vector<geom::vec2>& positions) {
+  os << "x,y\n";
+  for (const geom::vec2& p : positions) os << p.x << ',' << p.y << '\n';
+}
+
+void save_positions_csv(const std::string& path, const std::vector<geom::vec2>& positions) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("save_positions_csv: cannot open " + path);
+  write_positions_csv(f, positions);
+  if (!f) throw std::runtime_error("save_positions_csv: write failed for " + path);
+}
+
+}  // namespace cbtc::graph

@@ -1,0 +1,28 @@
+// Position-file I/O: load/save node layouts as CSV ("x,y" rows, with
+// an optional header). Lets the CLI and examples work on externally
+// produced deployments (survey data, other simulators).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace cbtc::graph {
+
+/// Parses "x,y" rows; skips blank lines, `#` comments, and a leading
+/// "x,y" header. Throws std::runtime_error with the line number on a
+/// malformed row.
+[[nodiscard]] std::vector<geom::vec2> read_positions_csv(std::istream& is);
+
+/// Loads a CSV file; throws on I/O failure.
+[[nodiscard]] std::vector<geom::vec2> load_positions_csv(const std::string& path);
+
+/// Writes "x,y" rows with a header.
+void write_positions_csv(std::ostream& os, const std::vector<geom::vec2>& positions);
+
+/// Saves to a file; throws on I/O failure.
+void save_positions_csv(const std::string& path, const std::vector<geom::vec2>& positions);
+
+}  // namespace cbtc::graph

@@ -1,0 +1,104 @@
+#include "graph/robustness.h"
+
+#include <algorithm>
+
+#include "graph/traversal.h"
+
+namespace cbtc::graph {
+
+namespace {
+
+/// Iterative Tarjan low-link DFS computing discovery/low arrays plus
+/// articulation points and bridges in one pass.
+struct lowlink_state {
+  std::vector<std::uint32_t> disc;
+  std::vector<std::uint32_t> low;
+  std::vector<node_id> parent;
+  std::vector<node_id> cut_vertices;
+  std::vector<edge> cut_edges;
+
+  explicit lowlink_state(std::size_t n)
+      : disc(n, 0), low(n, 0), parent(n, invalid_node) {}
+};
+
+void dfs_from(const undirected_graph& g, node_id root, lowlink_state& st,
+              std::uint32_t& timer) {
+  struct frame {
+    node_id u;
+    std::size_t next_edge;
+    std::size_t children;
+  };
+  std::vector<frame> stack;
+  st.disc[root] = st.low[root] = ++timer;
+  stack.push_back({root, 0, 0});
+  bool root_is_cut = false;
+
+  while (!stack.empty()) {
+    frame& f = stack.back();
+    const auto neighbors = g.neighbors(f.u);
+    if (f.next_edge < neighbors.size()) {
+      const node_id v = neighbors[f.next_edge++];
+      if (st.disc[v] == 0) {
+        st.parent[v] = f.u;
+        ++f.children;
+        st.disc[v] = st.low[v] = ++timer;
+        stack.push_back({v, 0, 0});
+      } else if (v != st.parent[f.u]) {
+        st.low[f.u] = std::min(st.low[f.u], st.disc[v]);
+      }
+      continue;
+    }
+    // All edges of f.u explored: propagate low-link to the parent.
+    const node_id u = f.u;
+    const std::size_t children = f.children;
+    stack.pop_back();
+    if (stack.empty()) {
+      if (u == root && children >= 2) root_is_cut = true;
+      break;
+    }
+    const node_id p = stack.back().u;
+    st.low[p] = std::min(st.low[p], st.low[u]);
+    if (st.low[u] > st.disc[p]) st.cut_edges.push_back({std::min(p, u), std::max(p, u)});
+    if (st.parent[p] != invalid_node && st.low[u] >= st.disc[p]) {
+      st.cut_vertices.push_back(p);
+    } else if (st.parent[p] == invalid_node && p == root) {
+      // Root articulation handled by child count below.
+    }
+  }
+  if (root_is_cut) st.cut_vertices.push_back(root);
+}
+
+}  // namespace
+
+std::vector<node_id> articulation_points(const undirected_graph& g) {
+  lowlink_state st(g.num_nodes());
+  std::uint32_t timer = 0;
+  for (node_id u = 0; u < g.num_nodes(); ++u) {
+    if (st.disc[u] == 0) dfs_from(g, u, st, timer);
+  }
+  std::sort(st.cut_vertices.begin(), st.cut_vertices.end());
+  st.cut_vertices.erase(std::unique(st.cut_vertices.begin(), st.cut_vertices.end()),
+                        st.cut_vertices.end());
+  return st.cut_vertices;
+}
+
+std::vector<edge> bridges(const undirected_graph& g) {
+  lowlink_state st(g.num_nodes());
+  std::uint32_t timer = 0;
+  for (node_id u = 0; u < g.num_nodes(); ++u) {
+    if (st.disc[u] == 0) dfs_from(g, u, st, timer);
+  }
+  std::sort(st.cut_edges.begin(), st.cut_edges.end(), [](const edge& a, const edge& b) {
+    return a.u < b.u || (a.u == b.u && a.v < b.v);
+  });
+  return st.cut_edges;
+}
+
+bool is_biconnected(const undirected_graph& g) {
+  if (g.num_nodes() <= 1) return true;
+  if (!is_connected(g)) return false;
+  if (g.num_nodes() == 2) return g.num_edges() == 1;
+  return articulation_points(g).empty();
+}
+
+}  // namespace cbtc::graph

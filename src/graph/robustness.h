@@ -1,0 +1,28 @@
+// Structural robustness: articulation points, bridges, biconnectivity.
+//
+// The paper's related work (Ramanathan & Rosales-Hain, Infocom 2000)
+// targets *biconnected* topologies for fault tolerance. These helpers
+// let the benches quantify how fragile each topology is: a node whose
+// removal splits the network is an articulation point; an edge whose
+// removal splits it is a bridge.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace cbtc::graph {
+
+/// Articulation points (cut vertices) via Tarjan's low-link DFS.
+[[nodiscard]] std::vector<node_id> articulation_points(const undirected_graph& g);
+
+/// Bridges (cut edges), each with u < v.
+[[nodiscard]] std::vector<edge> bridges(const undirected_graph& g);
+
+/// True if the graph is connected and has no articulation point
+/// (trivially true for n <= 2 when connected).
+[[nodiscard]] bool is_biconnected(const undirected_graph& g);
+
+}  // namespace cbtc::graph

@@ -1,0 +1,43 @@
+#include "graph/shortest_path.h"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace cbtc::graph {
+
+std::vector<double> dijkstra(const undirected_graph& g, node_id from, const edge_cost_fn& cost) {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(g.num_nodes(), inf);
+  using entry = std::pair<double, node_id>;
+  std::priority_queue<entry, std::vector<entry>, std::greater<>> heap;
+  dist[from] = 0.0;
+  heap.push({0.0, from});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    for (node_id v : g.neighbors(u)) {
+      const double nd = d + cost(u, v);
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        heap.push({nd, v});
+      }
+    }
+  }
+  return dist;
+}
+
+edge_cost_fn euclidean_cost(const std::vector<geom::vec2>& positions) {
+  return [&positions](node_id u, node_id v) {
+    return geom::distance(positions[u], positions[v]);
+  };
+}
+
+edge_cost_fn power_cost(const std::vector<geom::vec2>& positions, double exponent) {
+  return [&positions, exponent](node_id u, node_id v) {
+    return std::pow(geom::distance(positions[u], positions[v]), exponent);
+  };
+}
+
+}  // namespace cbtc::graph

@@ -1,0 +1,30 @@
+// Weighted shortest paths (Dijkstra) with pluggable edge costs.
+//
+// Used to measure *power stretch*: the paper's competitiveness
+// discussion compares the power of the most power-efficient route in
+// G_alpha against the one in G_R, with per-hop cost p(d) = d^n.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace cbtc::graph {
+
+/// Cost of traversing edge {u, v}; must be non-negative.
+using edge_cost_fn = std::function<double(node_id, node_id)>;
+
+/// Dijkstra from `from`. Unreachable nodes get +infinity.
+[[nodiscard]] std::vector<double> dijkstra(const undirected_graph& g, node_id from,
+                                           const edge_cost_fn& cost);
+
+/// Edge cost equal to Euclidean length (hop-length metric).
+[[nodiscard]] edge_cost_fn euclidean_cost(const std::vector<geom::vec2>& positions);
+
+/// Edge cost equal to transmission power d^exponent (energy metric).
+[[nodiscard]] edge_cost_fn power_cost(const std::vector<geom::vec2>& positions, double exponent);
+
+}  // namespace cbtc::graph

@@ -1,0 +1,106 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace cbtc::graph {
+
+component_labels connected_components(const undirected_graph& g) {
+  const std::size_t n = g.num_nodes();
+  component_labels result;
+  result.label.assign(n, invalid_node);
+
+  std::deque<node_id> queue;
+  for (node_id start = 0; start < n; ++start) {
+    if (result.label[start] != invalid_node) continue;
+    const auto comp = static_cast<node_id>(result.count++);
+    result.label[start] = comp;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      const node_id u = queue.front();
+      queue.pop_front();
+      for (node_id v : g.neighbors(u)) {
+        if (result.label[v] == invalid_node) {
+          result.label[v] = comp;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool is_connected(const undirected_graph& g) {
+  return connected_components(g).count <= 1;
+}
+
+bool reachable(const undirected_graph& g, node_id u, node_id v) {
+  return connected_components(g).same_component(u, v);
+}
+
+bool same_connectivity(const undirected_graph& a, const undirected_graph& b) {
+  if (a.num_nodes() != b.num_nodes()) return false;
+  const component_labels ca = connected_components(a);
+  const component_labels cb = connected_components(b);
+  if (ca.count != cb.count) return false;
+  // Same count + a consistent bijection between labels => same partition.
+  std::vector<node_id> a_to_b(ca.count, invalid_node);
+  std::vector<node_id> b_to_a(cb.count, invalid_node);
+  for (node_id u = 0; u < a.num_nodes(); ++u) {
+    const node_id la = ca.label[u];
+    const node_id lb = cb.label[u];
+    if (a_to_b[la] == invalid_node) a_to_b[la] = lb;
+    if (b_to_a[lb] == invalid_node) b_to_a[lb] = la;
+    if (a_to_b[la] != lb || b_to_a[lb] != la) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> bfs_distances(const undirected_graph& g, node_id from) {
+  constexpr auto inf = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(g.num_nodes(), inf);
+  std::deque<node_id> queue;
+  dist[from] = 0;
+  queue.push_back(from);
+  while (!queue.empty()) {
+    const node_id u = queue.front();
+    queue.pop_front();
+    for (node_id v : g.neighbors(u)) {
+      if (dist[v] == inf) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<node_id> bfs_path(const undirected_graph& g, node_id from, node_id to) {
+  std::vector<node_id> parent(g.num_nodes(), invalid_node);
+  std::vector<char> seen(g.num_nodes(), 0);
+  std::deque<node_id> queue;
+  seen[from] = 1;
+  queue.push_back(from);
+  while (!queue.empty() && !seen[to]) {
+    const node_id u = queue.front();
+    queue.pop_front();
+    for (node_id v : g.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        parent[v] = u;
+        queue.push_back(v);
+      }
+    }
+  }
+  if (!seen[to]) return {};
+  std::vector<node_id> path;
+  for (node_id cur = to; cur != invalid_node; cur = parent[cur]) {
+    path.push_back(cur);
+    if (cur == from) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace cbtc::graph

@@ -1,0 +1,46 @@
+// Connectivity queries: components, reachability, BFS paths.
+//
+// The paper's central correctness claim is a connectivity-preservation
+// statement ("u and v are connected in G_alpha iff they are connected
+// in G_R"), so component structure comparison is the workhorse of the
+// test suite.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace cbtc::graph {
+
+struct component_labels {
+  std::vector<node_id> label;  // component id per node, dense in [0, count)
+  std::size_t count{0};
+
+  [[nodiscard]] bool same_component(node_id u, node_id v) const { return label[u] == label[v]; }
+};
+
+/// Connected components via BFS.
+[[nodiscard]] component_labels connected_components(const undirected_graph& g);
+
+/// True if the whole graph is one component (trivially true for n <= 1).
+[[nodiscard]] bool is_connected(const undirected_graph& g);
+
+/// True if u and v are in the same component.
+[[nodiscard]] bool reachable(const undirected_graph& g, node_id u, node_id v);
+
+/// True if `a` and `b` have identical component *partitions* — the
+/// paper's preservation property: every pair connected in one is
+/// connected in the other. Requires equal node counts.
+[[nodiscard]] bool same_connectivity(const undirected_graph& a, const undirected_graph& b);
+
+/// Shortest path in hops from `from` to `to`; empty if unreachable.
+/// The returned path includes both endpoints.
+[[nodiscard]] std::vector<node_id> bfs_path(const undirected_graph& g, node_id from, node_id to);
+
+/// Hop distances from `from` to every node (invalid_node if unreachable
+/// is encoded as max uint32).
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const undirected_graph& g, node_id from);
+
+}  // namespace cbtc::graph

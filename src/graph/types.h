@@ -1,0 +1,14 @@
+// Shared identifiers for the graph layer.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace cbtc::graph {
+
+/// Node identifier: dense indices [0, n).
+using node_id = std::uint32_t;
+
+inline constexpr node_id invalid_node = std::numeric_limits<node_id>::max();
+
+}  // namespace cbtc::graph

@@ -1,0 +1,33 @@
+#include "graph/union_find.h"
+
+#include <numeric>
+#include <utility>
+
+namespace cbtc::graph {
+
+union_find::union_find(std::size_t n) : parent_(n), size_(n, 1), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), node_id{0});
+}
+
+node_id union_find::find(node_id x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool union_find::unite(node_id a, node_id b) {
+  node_id ra = find(a);
+  node_id rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_sets_;
+  return true;
+}
+
+std::size_t union_find::size_of(node_id x) { return size_[find(x)]; }
+
+}  // namespace cbtc::graph

@@ -1,0 +1,31 @@
+// Disjoint-set forest with union by size and path halving.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace cbtc::graph {
+
+class union_find {
+ public:
+  explicit union_find(std::size_t n);
+
+  /// Representative of the set containing `x`.
+  [[nodiscard]] node_id find(node_id x);
+
+  /// Merges the sets of `a` and `b`; returns true if they were distinct.
+  bool unite(node_id a, node_id b);
+
+  [[nodiscard]] bool same(node_id a, node_id b) { return find(a) == find(b); }
+  [[nodiscard]] std::size_t num_sets() const { return num_sets_; }
+  [[nodiscard]] std::size_t size_of(node_id x);
+
+ private:
+  std::vector<node_id> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t num_sets_;
+};
+
+}  // namespace cbtc::graph

@@ -1,0 +1,198 @@
+#include "proto/cbtc_agent.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "geom/angle.h"
+#include "geom/arc_set.h"
+
+namespace cbtc::proto {
+
+cbtc_agent::cbtc_agent(sim::medium& m, node_id self, const agent_config& cfg)
+    : medium_(m), self_(self), cfg_(cfg) {
+  const double default_p0 = medium_.power().required_power(medium_.power().max_range() / 16.0);
+  power_ = cfg_.params.initial_power > 0.0 ? cfg_.params.initial_power : default_p0;
+}
+
+void cbtc_agent::start(std::function<void()> on_done) {
+  on_done_ = std::move(on_done);
+  if (phase_ != phase::idle) return;
+  // Figure 1: while (p < P and gap-alpha(D)) — with D empty the gap test
+  // is vacuously true, so the agent always performs at least one round
+  // unless p0 already equals maximum power.
+  phase_ = phase::growing;
+  next_round();
+}
+
+void cbtc_agent::next_round() {
+  const double max_power = medium_.power().max_power();
+  power_ = std::min(power_ * cfg_.params.increase_factor, max_power);
+  level_powers_.push_back(power_);
+  ++round_;
+  const std::uint32_t this_round = round_;
+  for (std::uint32_t i = 0; i < std::max<std::uint32_t>(1, cfg_.retries_per_level); ++i) {
+    const double stagger = cfg_.round_timeout * 0.5 * static_cast<double>(i) /
+                           std::max<std::uint32_t>(1, cfg_.retries_per_level);
+    medium_.sim().schedule_in(stagger, [this, this_round] {
+      medium_.broadcast(self_, power_, message{hello_msg{self_, power_, this_round}});
+    });
+  }
+  medium_.sim().schedule_in(cfg_.round_timeout, [this, this_round] { evaluate_round(this_round); });
+}
+
+void cbtc_agent::evaluate_round(std::uint32_t round) {
+  if (phase_ != phase::growing || round != round_) return;  // stale deadline
+  const std::vector<double> dirs = known_directions();
+  const bool gap = geom::has_alpha_gap(dirs, cfg_.params.alpha);
+  if (gap && power_ < medium_.power().max_power()) {
+    next_round();
+    return;
+  }
+  boundary_ = gap;
+  phase_ = phase::done;
+  if (on_done_) {
+    auto cb = std::move(on_done_);
+    on_done_ = {};
+    cb();
+  }
+}
+
+void cbtc_agent::handle(const sim::rx_info& rx, const message& msg) {
+  if (const auto* hello = std::get_if<hello_msg>(&msg)) {
+    // Answer with an Ack strong enough to reach the sender; remember
+    // that we acked them (we may be their E_alpha neighbor).
+    const double need =
+        medium_.power().estimate_required_power(hello->tx_power, rx.rx_power) * cfg_.reply_margin;
+    auto [it, fresh] = acked_.try_emplace(hello->sender, need);
+    if (!fresh) it->second = std::max(it->second, need);
+    medium_.unicast(self_, hello->sender, need,
+                    message{ack_msg{self_, need, hello->tx_power}});
+    return;
+  }
+  if (const auto* ack = std::get_if<ack_msg>(&msg)) {
+    if (phase_ != phase::growing) return;  // late ack from a finished round
+    const double need = medium_.power().estimate_required_power(ack->tx_power, rx.rx_power);
+    auto [it, fresh] = neighbors_.try_emplace(ack->sender);
+    if (fresh) {
+      it->second.required_power = need;
+      it->second.direction = rx.direction;
+      it->second.discovery_power = ack->hello_power;
+      it->second.level = round_ - 1;
+    } else {
+      it->second.direction = rx.direction;  // keep the freshest bearing
+    }
+    return;
+  }
+  if (const auto* drop = std::get_if<drop_notice>(&msg)) {
+    if (neighbors_.erase(drop->sender) > 0) dropped_.push_back(drop->sender);
+    acked_.erase(drop->sender);
+    return;
+  }
+  // beacon_msg is handled by the NDP layer (see proto/ndp.h).
+}
+
+void cbtc_agent::send_drop_notices() {
+  for (const auto& [v, need] : acked_) {
+    if (neighbors_.contains(v)) continue;  // symmetric: keep
+    medium_.unicast(self_, v, need * cfg_.reply_margin,
+                    message{drop_notice{self_, need * cfg_.reply_margin}});
+  }
+}
+
+std::vector<double> cbtc_agent::known_directions() const {
+  std::vector<double> dirs;
+  dirs.reserve(neighbors_.size());
+  for (const auto& [id, n] : neighbors_) dirs.push_back(n.direction);
+  return dirs;
+}
+
+void cbtc_agent::forget(node_id v) {
+  neighbors_.erase(v);
+  acked_.erase(v);
+}
+
+void cbtc_agent::learn(node_id v, const discovered_neighbor& info) {
+  neighbors_[v] = info;
+}
+
+bool cbtc_agent::update_direction(node_id v, double direction) {
+  const auto it = neighbors_.find(v);
+  if (it == neighbors_.end()) return false;
+  it->second.direction = direction;
+  return true;
+}
+
+bool cbtc_agent::has_gap() const {
+  return geom::has_alpha_gap(known_directions(), cfg_.params.alpha);
+}
+
+double cbtc_agent::coverage_power() const {
+  double p = 0.0;
+  for (const auto& [v, n] : neighbors_) p = std::max(p, n.required_power);
+  return p;
+}
+
+std::size_t cbtc_agent::prune_shrink_back() {
+  if (neighbors_.empty()) return 0;
+  std::vector<double> dirs = known_directions();
+  const geom::arc_set full = geom::arc_set::cover(dirs, cfg_.params.alpha);
+
+  // Sort ids by descending discovery tag and test removal greedily,
+  // farthest-discovered first (the Section 4 variant of shrink-back).
+  std::vector<std::pair<double, node_id>> order;
+  order.reserve(neighbors_.size());
+  for (const auto& [v, n] : neighbors_) order.push_back({n.discovery_power, v});
+  std::sort(order.begin(), order.end(), std::greater<>());
+
+  std::size_t removed = 0;
+  for (const auto& [tag, v] : order) {
+    if (neighbors_.size() <= 1) break;
+    const discovered_neighbor saved = neighbors_.at(v);
+    neighbors_.erase(v);
+    std::vector<double> rest;
+    rest.reserve(neighbors_.size());
+    for (const auto& [w, n] : neighbors_) rest.push_back(n.direction);
+    if (geom::arc_set::cover(rest, cfg_.params.alpha).approx_equals(full)) {
+      ++removed;
+    } else {
+      neighbors_[v] = saved;  // removal would shrink coverage: keep
+    }
+  }
+  return removed;
+}
+
+void cbtc_agent::regrow(double start_power, std::function<void()> on_done) {
+  on_done_ = std::move(on_done);
+  power_ = std::max(start_power, 0.0);
+  if (power_ <= 0.0) {
+    const double default_p0 = medium_.power().required_power(medium_.power().max_range() / 16.0);
+    power_ = cfg_.params.initial_power > 0.0 ? cfg_.params.initial_power : default_p0;
+  }
+  boundary_ = false;
+  phase_ = phase::growing;
+  next_round();
+}
+
+algo::node_result cbtc_agent::to_node_result() const {
+  algo::node_result res;
+  res.level_powers = level_powers_;
+  res.final_power = level_powers_.empty() ? power_ : level_powers_.back();
+  res.boundary = boundary_;
+  res.neighbors.reserve(neighbors_.size());
+  for (const auto& [v, n] : neighbors_) {
+    algo::neighbor_record rec;
+    rec.id = v;
+    rec.distance = medium_.power().range(n.required_power);
+    rec.direction = n.direction;
+    rec.level = n.level;
+    rec.discovery_power = n.discovery_power;
+    res.neighbors.push_back(rec);
+  }
+  std::sort(res.neighbors.begin(), res.neighbors.end(),
+            [](const algo::neighbor_record& a, const algo::neighbor_record& b) {
+              return a.distance < b.distance || (a.distance == b.distance && a.id < b.id);
+            });
+  return res;
+}
+
+}  // namespace cbtc::proto

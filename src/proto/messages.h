@@ -1,0 +1,49 @@
+// Wire messages of the CBTC protocol suite.
+//
+// Every message carries the sender's id and its transmission power
+// (Figure 1: "the power used to broadcast the message is included in
+// the message"; Section 3.3: Acks carry the responder's power level so
+// receivers can rank neighbor distances; Section 4: beacons carry id
+// and power).
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "graph/types.h"
+
+namespace cbtc::proto {
+
+using graph::node_id;
+
+/// "Hello" broadcast of the growing phase.
+struct hello_msg {
+  node_id sender{graph::invalid_node};
+  double tx_power{0.0};
+  std::uint32_t round{0};  // the sender's growth round (diagnostics)
+};
+
+/// Ack reply to a Hello (unicast back to the Hello sender).
+struct ack_msg {
+  node_id sender{graph::invalid_node};
+  double tx_power{0.0};     // the Ack's own power (distance ranking, op3)
+  double hello_power{0.0};  // echoed power of the Hello being answered
+};
+
+/// Asymmetric-edge-removal notice (Section 3.2): "I acked your Hello
+/// but you are not in my N_alpha; remove me when building E^-_alpha."
+struct drop_notice {
+  node_id sender{graph::invalid_node};
+  double tx_power{0.0};
+};
+
+/// Periodic NDP beacon (Section 4).
+struct beacon_msg {
+  node_id sender{graph::invalid_node};
+  double tx_power{0.0};
+  std::uint64_t seq{0};
+};
+
+using message = std::variant<hello_msg, ack_msg, drop_notice, beacon_msg>;
+
+}  // namespace cbtc::proto

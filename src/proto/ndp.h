@@ -1,0 +1,77 @@
+// Neighbor Discovery Protocol (Section 4).
+//
+// "A NDP is usually a simple beaconing protocol for each node to tell
+// its neighbors that it is still alive. The beacon includes the
+// sending node's ID and the transmission power of the beacon. A
+// neighbor is considered failed if a pre-defined number of beacons are
+// not received for a certain time interval tau. A node v is considered
+// a new neighbor of u if a beacon is received from v and no beacon was
+// received from v during the previous tau interval."
+//
+// The NDP agent emits three events to its owner: join_u(v),
+// leave_u(v), aChange_u(v) — exactly the paper's trigger set.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "proto/messages.h"
+#include "sim/medium.h"
+
+namespace cbtc::proto {
+
+struct ndp_config {
+  double beacon_interval{1.0};
+  /// Beacons missed before a leave fires (tau = miss_limit * interval).
+  std::uint32_t miss_limit{3};
+  /// Minimum bearing change (radians) that triggers aChange.
+  double achange_threshold{0.05};
+  /// Initial phase offset factor in [0, 1): node beacons at
+  /// (offset + k) * interval. Staggering avoids synchronized bursts.
+  double phase_offset{0.0};
+};
+
+/// What NDP currently knows about a heard neighbor.
+struct ndp_entry {
+  double direction{0.0};
+  double required_power{0.0};  // estimated p(d) from the last beacon
+  sim::time_point last_heard{0.0};
+};
+
+class ndp_agent {
+ public:
+  /// `beacon_power` is sampled at every beacon (the reconfiguration
+  /// layer adjusts it as the topology evolves; see Section 4's
+  /// discussion of why shrink-back must not lower the beacon power).
+  ndp_agent(sim::medium& m, node_id self, const ndp_config& cfg,
+            std::function<double()> beacon_power);
+
+  /// Starts beaconing and liveness sweeping until sim time `until`.
+  void start(sim::time_point until);
+
+  /// Feed beacon messages here (from the node's rx handler).
+  void handle(const sim::rx_info& rx, const beacon_msg& beacon);
+
+  // Event callbacks (set before start()).
+  std::function<void(node_id, const ndp_entry&)> on_join;
+  std::function<void(node_id)> on_leave;
+  std::function<void(node_id, const ndp_entry&)> on_achange;
+
+  [[nodiscard]] const std::map<node_id, ndp_entry>& table() const { return table_; }
+  [[nodiscard]] std::uint64_t beacons_sent() const { return beacons_sent_; }
+
+ private:
+  void tick(sim::time_point until);
+  void sweep();
+
+  sim::medium& medium_;
+  node_id self_;
+  ndp_config cfg_;
+  std::function<double()> beacon_power_;
+  std::map<node_id, ndp_entry> table_;
+  std::uint64_t seq_{0};
+  std::uint64_t beacons_sent_{0};
+};
+
+}  // namespace cbtc::proto

@@ -1,0 +1,86 @@
+#include "proto/reconfig.h"
+
+#include <algorithm>
+
+namespace cbtc::proto {
+
+reconfig_agent::reconfig_agent(sim::medium& m, node_id self, const reconfig_config& cfg)
+    : medium_(m), self_(self), cfg_(cfg) {
+  cbtc_ = std::make_unique<cbtc_agent>(m, self, cfg.agent);
+  ndp_ = std::make_unique<ndp_agent>(m, self, cfg.ndp, [this] { return beacon_power(); });
+  ndp_->on_join = [this](node_id v, const ndp_entry& e) { on_join(v, e); };
+  ndp_->on_leave = [this](node_id v) { on_leave(v); };
+  ndp_->on_achange = [this](node_id v, const ndp_entry& e) { on_achange(v, e); };
+
+  medium_.set_handler(self, [this](const sim::rx_info& rx, const std::any& payload) {
+    const auto& msg = std::any_cast<const message&>(payload);
+    if (const auto* beacon = std::get_if<beacon_msg>(&msg)) {
+      ndp_->handle(rx, *beacon);
+    } else {
+      cbtc_->handle(rx, msg);
+    }
+  });
+}
+
+void reconfig_agent::start(sim::time_point ndp_until, std::function<void()> on_initial_done) {
+  cbtc_->start([this, ndp_until, cb = std::move(on_initial_done)] {
+    ndp_->start(ndp_until);
+    if (cb) cb();
+  });
+}
+
+double reconfig_agent::beacon_power() const {
+  // Boundary nodes must not lower their beacon below the basic
+  // algorithm's power (maximum power), or rejoining partitions would
+  // never hear each other (Section 4).
+  if (cbtc_->boundary()) return medium_.power().max_power();
+  double p = std::max(cbtc_->final_power(), cbtc_->coverage_power());
+  // Reach the inbound E_alpha side too: nodes we acked may rely on us.
+  for (const auto& [v, need] : cbtc_->acked()) p = std::max(p, need);
+  return std::min(p, medium_.power().max_power());
+}
+
+void reconfig_agent::on_join(node_id v, const ndp_entry& e) {
+  ++stats_.joins;
+  discovered_neighbor info;
+  info.required_power = e.required_power;
+  info.direction = e.direction;
+  info.discovery_power = e.required_power;  // tag = power needed when heard
+  info.level = 0;
+  cbtc_->learn(v, info);
+  if (cfg_.shrink_back && !regrowing_) {
+    stats_.prunes += cbtc_->prune_shrink_back();
+  }
+}
+
+void reconfig_agent::on_leave(node_id v) {
+  ++stats_.leaves;
+  cbtc_->forget(v);
+  if (cbtc_->has_gap() && !regrowing_) {
+    ++stats_.regrows;
+    regrowing_ = true;
+    cbtc_->regrow(cbtc_->coverage_power(), [this] { regrowing_ = false; });
+  }
+}
+
+void reconfig_agent::on_achange(node_id v, const ndp_entry& e) {
+  ++stats_.achanges;
+  cbtc_->update_direction(v, e.direction);
+  cbtc_->learn(v, [&] {
+    discovered_neighbor info;
+    info.required_power = e.required_power;
+    info.direction = e.direction;
+    info.discovery_power = e.required_power;
+    return info;
+  }());
+  if (regrowing_) return;
+  if (cbtc_->has_gap()) {
+    ++stats_.regrows;
+    regrowing_ = true;
+    cbtc_->regrow(cbtc_->coverage_power(), [this] { regrowing_ = false; });
+  } else if (cfg_.shrink_back) {
+    stats_.prunes += cbtc_->prune_shrink_back();
+  }
+}
+
+}  // namespace cbtc::proto

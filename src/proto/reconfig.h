@@ -1,0 +1,73 @@
+// Reconfiguration agent (Section 4): CBTC + NDP under churn.
+//
+// Composes the growing-phase agent with the beaconing NDP and applies
+// the paper's three reconfiguration rules:
+//   - leave_u(v):  drop v; if an alpha-gap opens, rerun CBTC(alpha)
+//                  starting from p(rad^-_u).
+//   - join_u(v):   record v's direction and required power, then
+//                  shrink back (drop farthest neighbors while the cone
+//                  coverage is unchanged).
+//   - aChange_u(v): update v's direction; rerun if a gap opened,
+//                  otherwise shrink back.
+//
+// Beacon power: the power reaching every neighbor the basic algorithm
+// would keep — boundary nodes beacon at maximum power even after
+// shrink-back, which is exactly the paper's fix for the partition-
+// rejoin scenario of Section 4.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "proto/cbtc_agent.h"
+#include "proto/ndp.h"
+
+namespace cbtc::proto {
+
+struct reconfig_config {
+  agent_config agent{};
+  ndp_config ndp{};
+  /// If true, joins/aChanges trigger the shrink-back pruning pass.
+  bool shrink_back{true};
+};
+
+class reconfig_agent {
+ public:
+  reconfig_agent(sim::medium& m, node_id self, const reconfig_config& cfg);
+
+  /// Runs the initial growing phase, then starts NDP beaconing (which
+  /// continues until sim time `ndp_until`).
+  void start(sim::time_point ndp_until, std::function<void()> on_initial_done = {});
+
+  /// The power this node beacons with (see header comment).
+  [[nodiscard]] double beacon_power() const;
+
+  [[nodiscard]] const cbtc_agent& cbtc() const { return *cbtc_; }
+  [[nodiscard]] cbtc_agent& cbtc() { return *cbtc_; }
+  [[nodiscard]] const ndp_agent& ndp() const { return *ndp_; }
+
+  // Reconfiguration event counters (benchmarks).
+  struct counters {
+    std::uint64_t joins{0};
+    std::uint64_t leaves{0};
+    std::uint64_t achanges{0};
+    std::uint64_t regrows{0};
+    std::uint64_t prunes{0};
+  };
+  [[nodiscard]] const counters& stats() const { return stats_; }
+
+ private:
+  void on_join(node_id v, const ndp_entry& e);
+  void on_leave(node_id v);
+  void on_achange(node_id v, const ndp_entry& e);
+
+  sim::medium& medium_;
+  node_id self_;
+  reconfig_config cfg_;
+  std::unique_ptr<cbtc_agent> cbtc_;
+  std::unique_ptr<ndp_agent> ndp_;
+  counters stats_;
+  bool regrowing_{false};
+};
+
+}  // namespace cbtc::proto

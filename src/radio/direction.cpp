@@ -1,0 +1,16 @@
+#include "radio/direction.h"
+
+#include "geom/angle.h"
+
+namespace cbtc::radio {
+
+direction_estimator::direction_estimator(double max_error_rad, std::uint64_t seed)
+    : max_error_(max_error_rad), rng_(seed), noise_(-max_error_rad, max_error_rad) {}
+
+double direction_estimator::measure(const geom::vec2& receiver, const geom::vec2& transmitter) {
+  const double truth = (transmitter - receiver).bearing();
+  if (max_error_ == 0.0) return truth;
+  return geom::norm_angle(truth + noise_(rng_));
+}
+
+}  // namespace cbtc::radio

@@ -1,0 +1,34 @@
+// Angle-of-Arrival (direction) estimation.
+//
+// CBTC's defining feature is that it needs only *directional*
+// information, not positions (Section 1: the Angle-of-Arrival problem,
+// solvable with more than one directional antenna). We model an AoA
+// sensor that reports the true bearing of the transmitter, optionally
+// perturbed by bounded uniform noise to study sensitivity.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "geom/vec2.h"
+
+namespace cbtc::radio {
+
+class direction_estimator {
+ public:
+  /// `max_error_rad` bounds the absolute angular error per measurement
+  /// (0 = ideal sensor, the paper's model).
+  explicit direction_estimator(double max_error_rad = 0.0, std::uint64_t seed = 0);
+
+  /// Bearing of `transmitter` as measured at `receiver`, in [0, 2*pi).
+  [[nodiscard]] double measure(const geom::vec2& receiver, const geom::vec2& transmitter);
+
+  [[nodiscard]] double max_error() const { return max_error_; }
+
+ private:
+  double max_error_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> noise_;
+};
+
+}  // namespace cbtc::radio

@@ -1,0 +1,44 @@
+#include "radio/power_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cbtc::radio {
+
+namespace {
+constexpr double min_distance = 1e-9;  // avoids a singular rx power at d == 0
+}
+
+power_model::power_model(double exponent, double max_range)
+    : exponent_(exponent), max_range_(max_range), max_power_(std::pow(max_range, exponent)) {
+  if (exponent < 1.0) throw std::invalid_argument("power_model: exponent must be >= 1");
+  if (max_range <= 0.0) throw std::invalid_argument("power_model: max_range must be positive");
+}
+
+double power_model::required_power(double distance) const {
+  if (distance <= 0.0) return 0.0;
+  return std::pow(distance, exponent_);
+}
+
+double power_model::range(double power) const {
+  if (power <= 0.0) return 0.0;
+  return std::pow(power, 1.0 / exponent_);
+}
+
+double power_model::rx_power(double tx_power, double distance) const {
+  const double d = distance < min_distance ? min_distance : distance;
+  return tx_power / std::pow(d, exponent_);
+}
+
+bool power_model::reaches(double tx_power, double distance) const {
+  // One-ulp tolerance: a receiver's power estimate tx/(tx/d^n) can
+  // round marginally below d^n; physically the link budget is exact.
+  return required_power(distance) <= tx_power * (1.0 + 1e-12);
+}
+
+double power_model::estimate_required_power(double tx_power, double rx_power) const {
+  if (rx_power <= 0.0) throw std::invalid_argument("estimate_required_power: rx_power must be positive");
+  return tx_power / rx_power;
+}
+
+}  // namespace cbtc::radio

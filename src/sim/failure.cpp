@@ -1,0 +1,30 @@
+#include "sim/failure.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cbtc::sim {
+
+failure_injector::failure_injector(medium& m, std::uint64_t seed) : medium_(m), rng_(seed) {}
+
+void failure_injector::crash_at(node_id u, time_point t) {
+  medium_.sim().schedule_at(t, [this, u] { medium_.crash(u); });
+}
+
+void failure_injector::restart_at(node_id u, time_point t) {
+  medium_.sim().schedule_at(t, [this, u] { medium_.restart(u); });
+}
+
+std::vector<node_id> failure_injector::random_crashes(std::size_t count, time_point t_lo,
+                                                      time_point t_hi) {
+  std::vector<node_id> ids(medium_.num_nodes());
+  std::iota(ids.begin(), ids.end(), node_id{0});
+  std::shuffle(ids.begin(), ids.end(), rng_);
+  count = std::min(count, ids.size());
+  ids.resize(count);
+  std::uniform_real_distribution<double> when(t_lo, t_hi);
+  for (node_id u : ids) crash_at(u, when(rng_));
+  return ids;
+}
+
+}  // namespace cbtc::sim

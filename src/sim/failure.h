@@ -1,0 +1,32 @@
+// Crash-failure injection (Section 4's failure model: crash-stop).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/medium.h"
+#include "sim/simulator.h"
+
+namespace cbtc::sim {
+
+class failure_injector {
+ public:
+  explicit failure_injector(medium& m, std::uint64_t seed = 0);
+
+  /// Crashes `u` at time `t`.
+  void crash_at(node_id u, time_point t);
+
+  /// Restarts `u` at time `t`.
+  void restart_at(node_id u, time_point t);
+
+  /// Crashes `count` distinct random nodes at uniform times in [t_lo, t_hi].
+  /// Returns the chosen victims.
+  std::vector<node_id> random_crashes(std::size_t count, time_point t_lo, time_point t_hi);
+
+ private:
+  medium& medium_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace cbtc::sim

@@ -1,0 +1,67 @@
+#include "sim/medium.h"
+
+#include <utility>
+
+namespace cbtc::sim {
+
+medium::medium(simulator& sim, radio::power_model pm, radio::channel ch,
+               radio::direction_estimator de)
+    : sim_(sim), power_(std::move(pm)), channel_(std::move(ch)), direction_(std::move(de)) {}
+
+node_id medium::add_node(const geom::vec2& position, rx_handler handler) {
+  const auto id = static_cast<node_id>(positions_.size());
+  positions_.push_back(position);
+  handlers_.push_back(std::move(handler));
+  up_.push_back(true);
+  node_energy_.push_back(0.0);
+  return id;
+}
+
+void medium::broadcast(node_id from, double tx_power, std::any payload) {
+  if (!up_[from]) return;
+  ++stats_.broadcasts;
+  stats_.tx_energy += tx_power;
+  node_energy_[from] += tx_power;
+  const geom::vec2 origin = positions_[from];
+  for (node_id to = 0; to < positions_.size(); ++to) {
+    if (to == from || !up_[to]) continue;
+    const double d = geom::distance(origin, positions_[to]);
+    if (!power_.reaches(tx_power, d)) continue;
+    deliver(from, to, tx_power, d, payload);
+  }
+}
+
+void medium::unicast(node_id from, node_id to, double tx_power, std::any payload) {
+  if (!up_[from]) return;
+  ++stats_.unicasts;
+  stats_.tx_energy += tx_power;
+  node_energy_[from] += tx_power;
+  if (to >= positions_.size() || !up_[to]) return;
+  const double d = geom::distance(positions_[from], positions_[to]);
+  if (!power_.reaches(tx_power, d)) return;  // out of range: radio silence
+  deliver(from, to, tx_power, d, payload);
+}
+
+void medium::deliver(node_id from, node_id to, double tx_power, double distance,
+                     const std::any& payload) {
+  const std::vector<double> delays = channel_.sample_deliveries(distance);
+  if (delays.empty()) {
+    ++stats_.drops;
+    return;
+  }
+  for (double delay : delays) {
+    rx_info info;
+    info.sender = from;
+    info.tx_power = tx_power;
+    info.rx_power = power_.rx_power(tx_power, distance);
+    info.direction = direction_.measure(positions_[to], positions_[from]);
+    sim_.schedule_in(delay, [this, to, info, payload]() mutable {
+      if (!up_[to]) return;  // crashed while the message was in flight
+      info.time = sim_.now();
+      ++stats_.deliveries;
+      if (handlers_[to]) handlers_[to](info, payload);
+    });
+  }
+}
+
+}  // namespace cbtc::sim

@@ -1,0 +1,99 @@
+// The shared wireless medium.
+//
+// Implements the paper's three communication primitives (Section 2):
+//   bcast(u, p, m) — delivered to every v with p(d(u,v)) <= p,
+//   send(u, p, m, v) — point-to-point, delivered if p(d(u,v)) <= p,
+//   recv(u, m, v) — the receiver learns the reception power p' and can
+//                   estimate p(d(u,v)) from (p, p'), plus the direction
+//                   of arrival (the Angle-of-Arrival assumption).
+//
+// Crash failures (Section 4) are modeled by marking nodes down: a down
+// node neither transmits nor receives. Message loss / duplication /
+// latency come from the radio::channel. Positions may change between
+// events (mobility); range membership is evaluated at transmit time.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "graph/types.h"
+#include "radio/channel.h"
+#include "radio/direction.h"
+#include "radio/power_model.h"
+#include "sim/simulator.h"
+
+namespace cbtc::sim {
+
+using graph::node_id;
+
+/// Physical-layer metadata handed to a receiver along with a message.
+struct rx_info {
+  node_id sender{graph::invalid_node};
+  double tx_power{0.0};    // advertised in every message header (paper, Fig. 1)
+  double rx_power{0.0};    // measured reception power
+  double direction{0.0};   // angle of arrival at the receiver, [0, 2*pi)
+  time_point time{0.0};    // delivery time
+};
+
+/// Per-node message handler.
+using rx_handler = std::function<void(const rx_info&, const std::any& payload)>;
+
+struct medium_stats {
+  std::uint64_t broadcasts{0};
+  std::uint64_t unicasts{0};
+  std::uint64_t deliveries{0};
+  std::uint64_t drops{0};       // channel losses
+  double tx_energy{0.0};        // sum of tx_power over transmissions
+};
+
+class medium {
+ public:
+  medium(simulator& sim, radio::power_model pm, radio::channel ch = radio::channel{},
+         radio::direction_estimator de = radio::direction_estimator{});
+
+  /// Registers a node; returns its id (dense, starting at 0).
+  node_id add_node(const geom::vec2& position, rx_handler handler);
+
+  [[nodiscard]] std::size_t num_nodes() const { return positions_.size(); }
+  [[nodiscard]] const geom::vec2& position(node_id u) const { return positions_[u]; }
+  [[nodiscard]] const std::vector<geom::vec2>& positions() const { return positions_; }
+  void set_position(node_id u, const geom::vec2& p) { positions_[u] = p; }
+  void set_handler(node_id u, rx_handler handler) { handlers_[u] = std::move(handler); }
+
+  /// bcast(u, p, m): schedules delivery to every live node in range.
+  void broadcast(node_id from, double tx_power, std::any payload);
+
+  /// send(u, p, m, v): schedules point-to-point delivery (silently
+  /// undeliverable if v is out of range — the radio cannot know).
+  void unicast(node_id from, node_id to, double tx_power, std::any payload);
+
+  /// Crash / recover (Section 4 failure model).
+  void crash(node_id u) { up_[u] = false; }
+  void restart(node_id u) { up_[u] = true; }
+  [[nodiscard]] bool is_up(node_id u) const { return up_[u]; }
+
+  [[nodiscard]] const radio::power_model& power() const { return power_; }
+  [[nodiscard]] const medium_stats& stats() const { return stats_; }
+  /// Cumulative transmit energy spent by one node (sum of tx powers).
+  [[nodiscard]] double tx_energy(node_id u) const { return node_energy_[u]; }
+  [[nodiscard]] simulator& sim() { return sim_; }
+
+ private:
+  void deliver(node_id from, node_id to, double tx_power, double distance,
+               const std::any& payload);
+
+  simulator& sim_;
+  radio::power_model power_;
+  radio::channel channel_;
+  radio::direction_estimator direction_;
+  std::vector<geom::vec2> positions_;
+  std::vector<rx_handler> handlers_;
+  std::vector<bool> up_;
+  std::vector<double> node_energy_;
+  medium_stats stats_;
+};
+
+}  // namespace cbtc::sim

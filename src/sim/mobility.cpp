@@ -1,0 +1,77 @@
+#include "sim/mobility.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cbtc::sim {
+
+random_waypoint::random_waypoint(medium& m, waypoint_params params, std::uint64_t seed)
+    : medium_(m), params_(params), rng_(seed), states_(m.num_nodes()) {
+  for (std::size_t i = 0; i < states_.size(); ++i) retarget(i);
+}
+
+void random_waypoint::retarget(std::size_t i) {
+  std::uniform_real_distribution<double> ux(params_.region.min.x, params_.region.max.x);
+  std::uniform_real_distribution<double> uy(params_.region.min.y, params_.region.max.y);
+  std::uniform_real_distribution<double> us(params_.min_speed, params_.max_speed);
+  states_[i].target = {ux(rng_), uy(rng_)};
+  states_[i].speed = us(rng_);
+}
+
+void random_waypoint::start(time_point tick, time_point until) {
+  medium_.sim().schedule_in(tick, [this, tick, until] { step(tick, until); });
+}
+
+void random_waypoint::step(time_point tick, time_point until) {
+  const time_point now = medium_.sim().now();
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    node_state& st = states_[i];
+    if (now < st.pause_until) continue;
+    const geom::vec2 pos = medium_.position(static_cast<node_id>(i));
+    const geom::vec2 to_target = st.target - pos;
+    const double dist = to_target.norm();
+    const double step_len = st.speed * tick;
+    if (dist <= step_len) {
+      medium_.set_position(static_cast<node_id>(i), st.target);
+      st.pause_until = now + params_.pause;
+      retarget(i);
+    } else {
+      medium_.set_position(static_cast<node_id>(i), pos + to_target * (step_len / dist));
+    }
+  }
+  if (now + tick <= until) {
+    medium_.sim().schedule_in(tick, [this, tick, until] { step(tick, until); });
+  }
+}
+
+bouncing_mobility::bouncing_mobility(medium& m, geom::bbox region,
+                                     std::vector<geom::vec2> velocities)
+    : medium_(m), region_(region), velocities_(std::move(velocities)) {
+  velocities_.resize(m.num_nodes());
+}
+
+void bouncing_mobility::start(time_point tick, time_point until) {
+  medium_.sim().schedule_in(tick, [this, tick, until] { step(tick, until); });
+}
+
+void bouncing_mobility::step(time_point tick, time_point until) {
+  const time_point now = medium_.sim().now();
+  for (std::size_t i = 0; i < velocities_.size(); ++i) {
+    geom::vec2 p = medium_.position(static_cast<node_id>(i)) + velocities_[i] * tick;
+    geom::vec2& v = velocities_[i];
+    if (p.x < region_.min.x || p.x > region_.max.x) {
+      v.x = -v.x;
+      p.x = std::clamp(p.x, region_.min.x, region_.max.x);
+    }
+    if (p.y < region_.min.y || p.y > region_.max.y) {
+      v.y = -v.y;
+      p.y = std::clamp(p.y, region_.min.y, region_.max.y);
+    }
+    medium_.set_position(static_cast<node_id>(i), p);
+  }
+  if (now + tick <= until) {
+    medium_.sim().schedule_in(tick, [this, tick, until] { step(tick, until); });
+  }
+}
+
+}  // namespace cbtc::sim

@@ -1,0 +1,70 @@
+// Mobility drivers.
+//
+// Section 4 of the paper handles mobile nodes via reconfiguration
+// events (join / leave / aChange). These drivers move nodes registered
+// with a medium on periodic ticks, deterministically from a seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "geom/bbox.h"
+#include "geom/vec2.h"
+#include "sim/medium.h"
+#include "sim/simulator.h"
+
+namespace cbtc::sim {
+
+struct waypoint_params {
+  geom::bbox region;
+  double min_speed{1.0};   // distance units per time unit
+  double max_speed{10.0};
+  double pause{0.0};       // dwell time at each waypoint
+};
+
+/// Random-waypoint mobility: each node walks to a uniformly random
+/// target at a uniformly random speed, pauses, and repeats.
+class random_waypoint {
+ public:
+  random_waypoint(medium& m, waypoint_params params, std::uint64_t seed);
+
+  /// Starts moving nodes: positions are updated every `tick` time units
+  /// until `until` (simulation time).
+  void start(time_point tick, time_point until);
+
+  [[nodiscard]] const waypoint_params& params() const { return params_; }
+
+ private:
+  struct node_state {
+    geom::vec2 target;
+    double speed{0.0};
+    time_point pause_until{0.0};
+  };
+
+  void step(time_point tick, time_point until);
+  void retarget(std::size_t i);
+
+  medium& medium_;
+  waypoint_params params_;
+  std::mt19937_64 rng_;
+  std::vector<node_state> states_;
+};
+
+/// Constant-velocity mobility with elastic reflection at the region
+/// boundary; handy for tests that need predictable motion.
+class bouncing_mobility {
+ public:
+  bouncing_mobility(medium& m, geom::bbox region, std::vector<geom::vec2> velocities);
+
+  void start(time_point tick, time_point until);
+
+ private:
+  void step(time_point tick, time_point until);
+
+  medium& medium_;
+  geom::bbox region_;
+  std::vector<geom::vec2> velocities_;
+};
+
+}  // namespace cbtc::sim

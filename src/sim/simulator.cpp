@@ -1,0 +1,41 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace cbtc::sim {
+
+void simulator::schedule_at(time_point t, action fn) {
+  if (t < now_) t = now_;
+  queue_.push({t, next_seq_++, std::move(fn)});
+}
+
+std::size_t simulator::run(std::size_t max_events) {
+  std::size_t count = 0;
+  while (!queue_.empty() && count < max_events) {
+    // priority_queue::top returns const&; the action must be moved out
+    // before pop, so copy the metadata and move the closure.
+    event ev = std::move(const_cast<event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.t;
+    ++count;
+    ++processed_;
+    ev.fn();
+  }
+  return count;
+}
+
+std::size_t simulator::run_until(time_point t) {
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.top().t <= t) {
+    event ev = std::move(const_cast<event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.t;
+    ++count;
+    ++processed_;
+    ev.fn();
+  }
+  if (now_ < t) now_ = t;
+  return count;
+}
+
+}  // namespace cbtc::sim

@@ -1,0 +1,82 @@
+#include "algo/alpha_search.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/gadgets.h"
+#include "geom/random_points.h"
+#include "radio/power_model.h"
+
+namespace cbtc::algo {
+namespace {
+
+const radio::power_model pm(2.0, 500.0);
+
+TEST(AlphaScan, RandomInstancesSafeThroughTheorem) {
+  // Theorem 2.1: every scanned alpha <= 5*pi/6 preserves connectivity.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto pts = geom::uniform_points(80, geom::bbox::rect(1500, 1500), seed);
+    const auto scan = scan_alpha(pts, pm, geom::pi / 3.0, alpha_five_pi_six, 12);
+    EXPECT_TRUE(scan.all_preserved) << "seed " << seed;
+    EXPECT_NEAR(scan.safe_prefix_max, alpha_five_pi_six, 1e-9);
+  }
+}
+
+TEST(AlphaScan, GadgetBreaksJustAboveThreshold) {
+  const auto g = gadgets::make_figure5(0.15);
+  const radio::power_model gpm(2.0, g.max_range);
+  const auto scan = scan_alpha(g.positions, gpm, alpha_five_pi_six - 0.2, g.alpha + 0.01, 24);
+  EXPECT_FALSE(scan.all_preserved);
+  // The safe prefix ends between 5*pi/6 and the gadget's alpha.
+  EXPECT_GE(scan.safe_prefix_max, alpha_five_pi_six - 0.2);
+  EXPECT_LT(scan.safe_prefix_max, g.alpha);
+}
+
+TEST(AlphaScan, SamplesAscendAndCoverRange) {
+  const auto pts = geom::uniform_points(20, geom::bbox::rect(600, 600), 5);
+  const auto scan = scan_alpha(pts, pm, 1.0, 3.0, 5);
+  ASSERT_EQ(scan.samples.size(), 5u);
+  EXPECT_DOUBLE_EQ(scan.samples.front().alpha, 1.0);
+  EXPECT_DOUBLE_EQ(scan.samples.back().alpha, 3.0);
+  for (std::size_t i = 0; i + 1 < scan.samples.size(); ++i) {
+    EXPECT_LT(scan.samples[i].alpha, scan.samples[i + 1].alpha);
+  }
+}
+
+TEST(AlphaScan, ZeroSteps) {
+  const auto pts = geom::uniform_points(10, geom::bbox::rect(400, 400), 9);
+  const auto scan = scan_alpha(pts, pm, 1.0, 2.0, 0);
+  EXPECT_TRUE(scan.samples.empty());
+}
+
+TEST(MaxPreservingAlpha, GadgetThresholdLocated) {
+  // For the Figure 5 gadget the exact breaking alpha is known by
+  // construction: it disconnects for its alpha = 5*pi/6 + eps but stays
+  // connected at 5*pi/6. The bisection must land inside (5*pi/6, alpha).
+  const double eps = 0.2;
+  const auto g = gadgets::make_figure5(eps);
+  const radio::power_model gpm(2.0, g.max_range);
+  const double t =
+      max_preserving_alpha(g.positions, gpm, alpha_five_pi_six, g.alpha + 0.05, 1e-4);
+  EXPECT_GE(t, alpha_five_pi_six - 1e-9);
+  EXPECT_LT(t, g.alpha);
+}
+
+TEST(MaxPreservingAlpha, AllPreservedReturnsHi) {
+  const auto pts = geom::uniform_points(30, geom::bbox::rect(500, 500), 13);
+  // Dense network: even wide alphas stay connected through closure.
+  const double t = max_preserving_alpha(pts, pm, 2.0, 2.6, 1e-3);
+  EXPECT_GT(t, 2.0);
+}
+
+TEST(MaxPreservingAlpha, RandomInstancesExceedTheTheorem) {
+  // The per-instance empirical threshold is at least 5*pi/6 — usually
+  // far beyond (the theorem is worst-case).
+  for (std::uint64_t seed : {21u, 22u}) {
+    const auto pts = geom::uniform_points(60, geom::bbox::rect(1200, 1200), seed);
+    const double t = max_preserving_alpha(pts, pm, alpha_five_pi_six, 1.99 * geom::pi, 1e-2);
+    EXPECT_GE(t, alpha_five_pi_six);
+  }
+}
+
+}  // namespace
+}  // namespace cbtc::algo

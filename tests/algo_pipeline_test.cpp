@@ -1,0 +1,134 @@
+// Direct contract tests for the build_topology pipeline: flag
+// combinations, the alpha-gating of asymmetric removal, and the
+// relationships between stages.
+#include "algo/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/random_points.h"
+#include "graph/euclidean.h"
+#include "graph/metrics.h"
+#include "radio/power_model.h"
+
+namespace cbtc::algo {
+namespace {
+
+const radio::power_model pm(2.0, 500.0);
+
+std::vector<geom::vec2> instance(std::uint64_t seed) {
+  return geom::uniform_points(90, geom::bbox::rect(1400, 1400), seed);
+}
+
+TEST(Pipeline, NoOptsEqualsOracleClosure) {
+  const auto pts = instance(1);
+  cbtc_params params;
+  const topology_result t = build_topology(pts, pm, params, optimization_set::none());
+  EXPECT_EQ(t.topology, run_cbtc(pts, pm, params).symmetric_closure());
+  EXPECT_FALSE(t.asymmetric_applied);
+  EXPECT_EQ(t.redundant_edges, 0u);
+  EXPECT_EQ(t.removed_edges, 0u);
+}
+
+TEST(Pipeline, AsymRequestIgnoredAboveTwoPiThree) {
+  const auto pts = instance(2);
+  cbtc_params params;  // alpha = 5*pi/6
+  optimization_set opts;
+  opts.asymmetric_removal = true;
+  const topology_result t = build_topology(pts, pm, params, opts);
+  EXPECT_FALSE(t.asymmetric_applied);
+  // Without op2 the topology equals the closure.
+  EXPECT_EQ(t.topology, run_cbtc(pts, pm, params).symmetric_closure());
+}
+
+TEST(Pipeline, AsymAppliedAtTwoPiThree) {
+  const auto pts = instance(3);
+  cbtc_params params;
+  params.alpha = alpha_two_pi_three;
+  optimization_set opts;
+  opts.asymmetric_removal = true;
+  const topology_result t = build_topology(pts, pm, params, opts);
+  EXPECT_TRUE(t.asymmetric_applied);
+  EXPECT_EQ(t.topology, run_cbtc(pts, pm, params).symmetric_core());
+}
+
+TEST(Pipeline, ShrinkBackFlagReflectedInGrowth) {
+  const auto pts = instance(4);
+  cbtc_params params;
+  optimization_set opts;
+  opts.shrink_back = true;
+  const topology_result with = build_topology(pts, pm, params, opts);
+  const topology_result without = build_topology(pts, pm, params, optimization_set::none());
+  double power_with = 0.0, power_without = 0.0;
+  for (const auto& n : with.growth.nodes) power_with += n.final_power;
+  for (const auto& n : without.growth.nodes) power_without += n.final_power;
+  EXPECT_LT(power_with, power_without);
+}
+
+TEST(Pipeline, PairwiseStatsConsistent) {
+  const auto pts = instance(5);
+  cbtc_params params;
+  optimization_set opts;
+  opts.shrink_back = true;
+  opts.pairwise_removal = true;
+  const topology_result t = build_topology(pts, pm, params, opts);
+  EXPECT_GT(t.redundant_edges, 0u);
+  EXPECT_LE(t.removed_edges, t.redundant_edges);
+
+  // remove_all removes exactly the redundant count.
+  optimization_set all = opts;
+  all.pairwise.remove_all = true;
+  const topology_result ta = build_topology(pts, pm, params, all);
+  EXPECT_EQ(ta.removed_edges, ta.redundant_edges);
+  EXPECT_LE(ta.topology.num_edges(), t.topology.num_edges());
+}
+
+TEST(Pipeline, StagesOnlyShrinkMetrics) {
+  // Each additional optimization can only reduce degree and radius.
+  const auto pts = instance(6);
+  cbtc_params params;
+  params.alpha = alpha_two_pi_three;
+
+  optimization_set o0;                                  // basic
+  optimization_set o1{.shrink_back = true};             // +op1
+  optimization_set o12 = o1;
+  o12.asymmetric_removal = true;                        // +op2
+  optimization_set oall = optimization_set::all();      // +op3
+
+  double prev_deg = 1e18, prev_rad = 1e18;
+  for (const optimization_set& o : {o0, o1, o12, oall}) {
+    const topology_result t = build_topology(pts, pm, params, o);
+    const double deg = graph::average_degree(t.topology);
+    const double rad = graph::average_radius(t.topology, pts, pm.max_range());
+    EXPECT_LE(deg, prev_deg + 1e-12);
+    EXPECT_LE(rad, prev_rad + 1e-9);
+    prev_deg = deg;
+    prev_rad = rad;
+  }
+}
+
+TEST(Pipeline, EmptyAndSingleNode) {
+  const topology_result empty = build_topology({}, pm, {}, optimization_set::all());
+  EXPECT_EQ(empty.topology.num_nodes(), 0u);
+
+  const std::vector<geom::vec2> one{{10.0, 10.0}};
+  const topology_result single = build_topology(one, pm, {}, optimization_set::all());
+  EXPECT_EQ(single.topology.num_nodes(), 1u);
+  EXPECT_EQ(single.topology.num_edges(), 0u);
+  EXPECT_TRUE(single.growth.nodes[0].boundary);
+}
+
+TEST(Pipeline, GrowthModePropagates) {
+  const auto pts = instance(7);
+  cbtc_params cont;
+  cont.mode = growth_mode::continuous;
+  const topology_result t = build_topology(pts, pm, cont, optimization_set::none());
+  EXPECT_EQ(t.growth.params.mode, growth_mode::continuous);
+  // Continuous basic graphs are sparser than discrete ones (no
+  // doubling overshoot).
+  cbtc_params disc;
+  const topology_result td = build_topology(pts, pm, disc, optimization_set::none());
+  EXPECT_LE(t.topology.num_edges(), td.topology.num_edges());
+}
+
+}  // namespace
+}  // namespace cbtc::algo

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/stats.h"
+#include "exp/table.h"
+#include "exp/workload.h"
+
+namespace cbtc::exp {
+namespace {
+
+TEST(Summary, EmptyDefaults) {
+  const summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, MeanMinMax) {
+  summary s;
+  for (double x : {2.0, 4.0, 6.0}) s.add(x);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(Summary, SampleStddev) {
+  summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // known sample sd
+}
+
+TEST(Summary, SingleValue) {
+  summary s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(Summary, NegativeValues) {
+  summary s;
+  s.add(-5.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+}
+
+TEST(Percentile, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(Table, AlignsColumns) {
+  table t({"name", "value"});
+  t.add_row({"alpha", "0.5"});
+  t.add_row({"very-long-name", "12345.678"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("very-long-name"), std::string::npos);
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  // Header separator row present.
+  EXPECT_NE(s.find("|---"), std::string::npos);
+}
+
+TEST(Table, ShortAndLongRowsHandled) {
+  table t({"a", "b", "c"});
+  t.add_row({"1"});                       // padded
+  t.add_row({"1", "2", "3", "dropped"});  // truncated
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str().find("dropped"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(table::num(436.82, 1), "436.8");
+  EXPECT_EQ(table::num(25.6, 0), "26");
+}
+
+TEST(Workload, PaperDefaults) {
+  const workload_params w = paper_workload();
+  EXPECT_EQ(w.nodes, 100u);
+  EXPECT_DOUBLE_EQ(w.region_side, 1500.0);
+  EXPECT_DOUBLE_EQ(w.max_range, 500.0);
+  EXPECT_EQ(w.networks, 100u);
+}
+
+TEST(Workload, NetworksAreDeterministicAndDistinct) {
+  const workload_params w = paper_workload();
+  EXPECT_EQ(network_positions(w, 3), network_positions(w, 3));
+  EXPECT_NE(network_positions(w, 3), network_positions(w, 4));
+  EXPECT_EQ(network_positions(w, 0).size(), 100u);
+}
+
+TEST(Workload, PowerModelMatches) {
+  const radio::power_model pm = workload_power(paper_workload());
+  EXPECT_DOUBLE_EQ(pm.max_range(), 500.0);
+  EXPECT_DOUBLE_EQ(pm.exponent(), 2.0);
+}
+
+}  // namespace
+}  // namespace cbtc::exp

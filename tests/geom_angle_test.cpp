@@ -1,0 +1,144 @@
+#include "geom/angle.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <random>
+#include <vector>
+
+namespace cbtc::geom {
+namespace {
+
+TEST(NormAngle, AlreadyNormalized) {
+  EXPECT_DOUBLE_EQ(norm_angle(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(norm_angle(1.5), 1.5);
+}
+
+TEST(NormAngle, WrapsNegative) {
+  EXPECT_NEAR(norm_angle(-pi / 2.0), 3.0 * pi / 2.0, 1e-12);
+  EXPECT_NEAR(norm_angle(-two_pi - 0.5), two_pi - 0.5, 1e-12);
+}
+
+TEST(NormAngle, WrapsLarge) {
+  EXPECT_NEAR(norm_angle(two_pi + 0.25), 0.25, 1e-12);
+  EXPECT_NEAR(norm_angle(5.0 * two_pi + 1.0), 1.0, 1e-9);
+}
+
+TEST(NormAngle, ResultAlwaysInRange) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> u(-100.0, 100.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double t = norm_angle(u(rng));
+    EXPECT_GE(t, 0.0);
+    EXPECT_LT(t, two_pi);
+  }
+}
+
+TEST(AngleDiff, SignedShortestRotation) {
+  EXPECT_NEAR(angle_diff(0.5, 0.25), 0.25, 1e-12);
+  EXPECT_NEAR(angle_diff(0.25, 0.5), -0.25, 1e-12);
+  // Across the wrap point.
+  EXPECT_NEAR(angle_diff(0.1, two_pi - 0.1), 0.2, 1e-12);
+  EXPECT_NEAR(angle_diff(two_pi - 0.1, 0.1), -0.2, 1e-12);
+}
+
+TEST(AngleDist, SymmetricAndBounded) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> u(-10.0, 10.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = u(rng);
+    const double b = u(rng);
+    EXPECT_DOUBLE_EQ(angle_dist(a, b), angle_dist(b, a));
+    EXPECT_LE(angle_dist(a, b), pi + 1e-12);
+    EXPECT_GE(angle_dist(a, b), 0.0);
+  }
+}
+
+TEST(AngleInCcwArc, BasicMembership) {
+  EXPECT_TRUE(angle_in_ccw_arc(0.5, 0.0, 1.0));
+  EXPECT_FALSE(angle_in_ccw_arc(1.5, 0.0, 1.0));
+  EXPECT_TRUE(angle_in_ccw_arc(0.0, 0.0, 1.0));  // endpoints included
+  EXPECT_TRUE(angle_in_ccw_arc(1.0, 0.0, 1.0));
+}
+
+TEST(AngleInCcwArc, WrappingArc) {
+  // Arc from 3/2*pi counterclockwise to pi/2 passes through 0.
+  EXPECT_TRUE(angle_in_ccw_arc(0.0, 3.0 * pi / 2.0, pi / 2.0));
+  EXPECT_TRUE(angle_in_ccw_arc(two_pi - 0.1, 3.0 * pi / 2.0, pi / 2.0));
+  EXPECT_FALSE(angle_in_ccw_arc(pi, 3.0 * pi / 2.0, pi / 2.0));
+}
+
+TEST(MaxCircularGap, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(max_circular_gap({}), two_pi);
+  const std::array<double, 1> one{1.0};
+  EXPECT_DOUBLE_EQ(max_circular_gap(one), two_pi);
+}
+
+TEST(MaxCircularGap, TwoOpposite) {
+  const std::array<double, 2> dirs{0.0, pi};
+  EXPECT_NEAR(max_circular_gap(dirs), pi, 1e-12);
+}
+
+TEST(MaxCircularGap, WrapAroundGapDetected) {
+  // Directions huddled near 0: the wrap gap is nearly 2*pi.
+  const std::array<double, 3> dirs{0.1, 0.2, 0.3};
+  EXPECT_NEAR(max_circular_gap(dirs), two_pi - 0.2, 1e-12);
+}
+
+TEST(MaxCircularGap, UnsortedAndUnnormalizedInput) {
+  const std::array<double, 3> dirs{pi + two_pi, -pi / 2.0, 0.0};
+  // Normalized: {pi, 3*pi/2, 0} -> gaps pi, pi/2, pi/2.
+  EXPECT_NEAR(max_circular_gap(dirs), pi, 1e-12);
+}
+
+TEST(MaxCircularGap, EvenSpreadHasEqualGaps) {
+  std::vector<double> dirs;
+  const int k = 8;
+  for (int i = 0; i < k; ++i) dirs.push_back(two_pi * i / k);
+  EXPECT_NEAR(max_circular_gap(dirs), two_pi / k, 1e-12);
+}
+
+TEST(HasAlphaGap, StrictComparison) {
+  // Figure 1's gap test is strict: a gap of exactly alpha does not
+  // count as an uncovered cone.
+  std::vector<double> dirs;
+  for (int i = 0; i < 3; ++i) dirs.push_back(two_pi * i / 3);
+  const double gap = two_pi / 3;
+  EXPECT_FALSE(has_alpha_gap(dirs, gap));
+  EXPECT_TRUE(has_alpha_gap(dirs, gap - 1e-9));
+}
+
+TEST(HasAlphaGap, EmptyAlwaysGapped) {
+  EXPECT_TRUE(has_alpha_gap({}, 5.0 * pi / 6.0));
+  EXPECT_TRUE(has_alpha_gap({}, two_pi - 1e-9));
+}
+
+TEST(SortedNormalized, SortsAndNormalizes) {
+  const std::array<double, 3> dirs{-0.5, two_pi + 0.25, 1.0};
+  const std::vector<double> s = sorted_normalized(dirs);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_NEAR(s[0], 0.25, 1e-12);
+  EXPECT_NEAR(s[1], 1.0, 1e-12);
+  EXPECT_NEAR(s[2], two_pi - 0.5, 1e-12);
+}
+
+// Property: the max circular gap of n >= 2 random directions equals
+// 2*pi minus the sum of the other gaps (gaps partition the circle).
+TEST(MaxCircularGap, GapsPartitionCircleProperty) {
+  std::mt19937_64 rng(23);
+  std::uniform_real_distribution<double> u(0.0, two_pi);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> dirs;
+    const int n = 2 + static_cast<int>(rng() % 20);
+    for (int i = 0; i < n; ++i) dirs.push_back(u(rng));
+    std::vector<double> s = sorted_normalized(dirs);
+    double total = 0.0;
+    for (std::size_t i = 0; i + 1 < s.size(); ++i) total += s[i + 1] - s[i];
+    total += two_pi - s.back() + s.front();
+    EXPECT_NEAR(total, two_pi, 1e-9);
+    EXPECT_LE(max_circular_gap(dirs), total + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace cbtc::geom

@@ -1,0 +1,77 @@
+#include "geom/random_points.h"
+
+#include <gtest/gtest.h>
+
+namespace cbtc::geom {
+namespace {
+
+TEST(UniformPoints, CountAndBounds) {
+  const bbox region = bbox::rect(1500.0, 1500.0);
+  const auto pts = uniform_points(100, region, 42);
+  ASSERT_EQ(pts.size(), 100u);
+  for (const vec2& p : pts) EXPECT_TRUE(region.contains(p));
+}
+
+TEST(UniformPoints, DeterministicPerSeed) {
+  const bbox region = bbox::rect(100.0, 100.0);
+  EXPECT_EQ(uniform_points(50, region, 7), uniform_points(50, region, 7));
+  EXPECT_NE(uniform_points(50, region, 7), uniform_points(50, region, 8));
+}
+
+TEST(UniformPoints, ZeroPoints) {
+  EXPECT_TRUE(uniform_points(0, bbox::rect(10, 10), 1).empty());
+}
+
+TEST(UniformPoints, RoughlyUniformQuadrants) {
+  // Sanity: with 4000 points, each quadrant holds 1000 +- 40%.
+  const bbox region = bbox::rect(100.0, 100.0);
+  const auto pts = uniform_points(4000, region, 99);
+  int counts[4] = {0, 0, 0, 0};
+  for (const vec2& p : pts) {
+    counts[(p.x >= 50.0 ? 1 : 0) + (p.y >= 50.0 ? 2 : 0)]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 600);
+    EXPECT_LT(c, 1400);
+  }
+}
+
+TEST(ClusteredPoints, CountBoundsAndDeterminism) {
+  const bbox region = bbox::rect(1000.0, 1000.0);
+  const auto pts = clustered_points(200, 5, 50.0, region, 3);
+  ASSERT_EQ(pts.size(), 200u);
+  for (const vec2& p : pts) EXPECT_TRUE(region.contains(p));
+  EXPECT_EQ(pts, clustered_points(200, 5, 50.0, region, 3));
+}
+
+TEST(ClusteredPoints, ZeroClustersTreatedAsOne) {
+  const auto pts = clustered_points(10, 0, 1.0, bbox::rect(10, 10), 1);
+  EXPECT_EQ(pts.size(), 10u);
+}
+
+TEST(ClusteredPoints, TightClustersAreTight) {
+  const bbox region = bbox::rect(10000.0, 10000.0);
+  const auto pts = clustered_points(100, 1, 1.0, region, 17);
+  // Single cluster with sigma=1: spread well below the region size.
+  double max_d = 0.0;
+  for (const vec2& p : pts) max_d = std::max(max_d, distance(p, pts[0]));
+  EXPECT_LT(max_d, 50.0);
+}
+
+TEST(JitteredGrid, CountBoundsAndDeterminism) {
+  const bbox region = bbox::rect(900.0, 400.0);
+  const auto pts = jittered_grid_points(60, 0.4, region, 11);
+  ASSERT_EQ(pts.size(), 60u);
+  for (const vec2& p : pts) EXPECT_TRUE(region.contains(p));
+  EXPECT_EQ(pts, jittered_grid_points(60, 0.4, region, 11));
+}
+
+TEST(JitteredGrid, ZeroJitterIsRegular) {
+  const bbox region = bbox::rect(100.0, 100.0);
+  const auto a = jittered_grid_points(16, 0.0, region, 1);
+  const auto b = jittered_grid_points(16, 0.0, region, 2);
+  EXPECT_EQ(a, b);  // no randomness left
+}
+
+}  // namespace
+}  // namespace cbtc::geom

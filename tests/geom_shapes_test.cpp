@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/angle.h"
+#include "geom/bbox.h"
+#include "geom/circle.h"
+#include "geom/cone.h"
+#include "geom/vec2.h"
+
+namespace cbtc::geom {
+namespace {
+
+// ---------------------------------------------------------------- cone
+
+TEST(Cone, BisectedByAimsAtTarget) {
+  const vec2 u{0.0, 0.0};
+  const vec2 v{10.0, 0.0};
+  const cone c = cone::bisected_by(u, pi / 2.0, v);
+  EXPECT_NEAR(c.axis, 0.0, 1e-12);
+  EXPECT_TRUE(c.contains(v));
+}
+
+TEST(Cone, ContainsRespectsHalfAngle) {
+  const cone c = cone::bisected_by({0.0, 0.0}, pi / 2.0, {1.0, 0.0});
+  EXPECT_TRUE(c.contains(polar({0, 0}, 1.0, pi / 4.0)));    // on the edge
+  EXPECT_TRUE(c.contains(polar({0, 0}, 1.0, -pi / 4.0)));   // other edge
+  EXPECT_FALSE(c.contains(polar({0, 0}, 1.0, pi / 3.0)));   // outside
+  EXPECT_FALSE(c.contains(polar({0, 0}, 1.0, pi)));         // behind
+}
+
+TEST(Cone, ApexIsInside) {
+  const cone c = cone::bisected_by({3.0, 4.0}, 0.5, {10.0, 4.0});
+  EXPECT_TRUE(c.contains({3.0, 4.0}));
+}
+
+TEST(Cone, ContainsDirection) {
+  const cone c{{0, 0}, pi, pi / 3.0};
+  EXPECT_TRUE(c.contains_direction(pi));
+  EXPECT_TRUE(c.contains_direction(pi + pi / 6.0));
+  EXPECT_FALSE(c.contains_direction(pi + pi / 4.0));
+}
+
+TEST(Cone, WideConesWrapAroundZero) {
+  const cone c{{0, 0}, 0.1, 5.0 * pi / 6.0};
+  // axis 0.1, half width 5*pi/12 ~ 1.308; two_pi-0.5 is within.
+  EXPECT_TRUE(c.contains_direction(two_pi - 0.5));
+  EXPECT_FALSE(c.contains_direction(pi));
+}
+
+// -------------------------------------------------------------- circle
+
+TEST(Circle, Contains) {
+  const circle c{{0.0, 0.0}, 5.0};
+  EXPECT_TRUE(c.contains({3.0, 4.0}));   // on the boundary
+  EXPECT_TRUE(c.contains({1.0, 1.0}));
+  EXPECT_FALSE(c.contains({4.0, 4.0}));
+}
+
+TEST(Circle, BoundaryDistanceSign) {
+  const circle c{{0.0, 0.0}, 5.0};
+  EXPECT_LT(c.boundary_distance({0.0, 0.0}), 0.0);
+  EXPECT_NEAR(c.boundary_distance({5.0, 0.0}), 0.0, 1e-12);
+  EXPECT_GT(c.boundary_distance({10.0, 0.0}), 0.0);
+}
+
+TEST(CircleIntersect, TwoPoints) {
+  // The Figure 5 construction: circles of radius R around u0 = (0,0)
+  // and v0 = (R,0) intersect at s, s' = (R/2, +-sqrt(3)/2 R).
+  const double R = 500.0;
+  const auto pts = intersect({{0.0, 0.0}, R}, {{R, 0.0}, R});
+  ASSERT_TRUE(pts.has_value());
+  auto [a, b] = *pts;
+  if (a.y < b.y) std::swap(a, b);
+  EXPECT_NEAR(a.x, R / 2.0, 1e-9);
+  EXPECT_NEAR(a.y, R * std::sqrt(3.0) / 2.0, 1e-9);
+  EXPECT_NEAR(b.x, R / 2.0, 1e-9);
+  EXPECT_NEAR(b.y, -R * std::sqrt(3.0) / 2.0, 1e-9);
+}
+
+TEST(CircleIntersect, TangentCirclesTouchOnce) {
+  const auto pts = intersect({{0.0, 0.0}, 1.0}, {{2.0, 0.0}, 1.0});
+  ASSERT_TRUE(pts.has_value());
+  EXPECT_NEAR(distance(pts->first, pts->second), 0.0, 1e-9);
+  EXPECT_NEAR(pts->first.x, 1.0, 1e-9);
+}
+
+TEST(CircleIntersect, DisjointReturnsNullopt) {
+  EXPECT_FALSE(intersect({{0.0, 0.0}, 1.0}, {{5.0, 0.0}, 1.0}).has_value());
+}
+
+TEST(CircleIntersect, NestedReturnsNullopt) {
+  EXPECT_FALSE(intersect({{0.0, 0.0}, 5.0}, {{0.5, 0.0}, 1.0}).has_value());
+}
+
+TEST(CircleIntersect, ConcentricReturnsNullopt) {
+  EXPECT_FALSE(intersect({{0.0, 0.0}, 2.0}, {{0.0, 0.0}, 3.0}).has_value());
+}
+
+TEST(CircleIntersect, PointsLieOnBothCircles) {
+  const circle a{{1.0, 2.0}, 3.0};
+  const circle b{{4.0, -1.0}, 4.0};
+  const auto pts = intersect(a, b);
+  ASSERT_TRUE(pts.has_value());
+  for (const vec2& p : {pts->first, pts->second}) {
+    EXPECT_NEAR(distance(p, a.center), a.radius, 1e-9);
+    EXPECT_NEAR(distance(p, b.center), b.radius, 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------- bbox
+
+TEST(Bbox, RectFactory) {
+  constexpr bbox r = bbox::rect(1500.0, 1000.0);
+  EXPECT_DOUBLE_EQ(r.width(), 1500.0);
+  EXPECT_DOUBLE_EQ(r.height(), 1000.0);
+  EXPECT_DOUBLE_EQ(r.area(), 1.5e6);
+}
+
+TEST(Bbox, Contains) {
+  constexpr bbox r = bbox::rect(10.0, 10.0);
+  EXPECT_TRUE(r.contains({5.0, 5.0}));
+  EXPECT_TRUE(r.contains({0.0, 0.0}));
+  EXPECT_TRUE(r.contains({10.0, 10.0}));
+  EXPECT_FALSE(r.contains({10.1, 5.0}));
+  EXPECT_FALSE(r.contains({5.0, -0.1}));
+}
+
+TEST(Bbox, ClampProjectsOntoBox) {
+  constexpr bbox r = bbox::rect(10.0, 10.0);
+  EXPECT_EQ(r.clamp({-5.0, 5.0}), vec2(0.0, 5.0));
+  EXPECT_EQ(r.clamp({12.0, 15.0}), vec2(10.0, 10.0));
+  EXPECT_EQ(r.clamp({3.0, 4.0}), vec2(3.0, 4.0));
+}
+
+}  // namespace
+}  // namespace cbtc::geom

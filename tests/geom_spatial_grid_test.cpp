@@ -1,0 +1,119 @@
+#include "geom/spatial_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "geom/random_points.h"
+
+namespace cbtc::geom {
+namespace {
+
+std::vector<point_index> sorted(std::vector<point_index> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(SpatialGrid, EmptyInput) {
+  const spatial_grid grid(std::vector<vec2>{}, 10.0);
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_TRUE(grid.query_radius({0, 0}, 100.0).empty());
+}
+
+TEST(SpatialGrid, RejectsNonPositiveCellSize) {
+  const std::vector<vec2> pts{{0, 0}};
+  EXPECT_THROW(spatial_grid(pts, 0.0), std::invalid_argument);
+  EXPECT_THROW(spatial_grid(pts, -1.0), std::invalid_argument);
+}
+
+TEST(SpatialGrid, SinglePoint) {
+  const std::vector<vec2> pts{{5.0, 5.0}};
+  const spatial_grid grid(pts, 1.0);
+  EXPECT_EQ(grid.query_radius({5.0, 5.0}, 0.1), std::vector<point_index>{0});
+  EXPECT_TRUE(grid.query_radius({50.0, 50.0}, 1.0).empty());
+}
+
+TEST(SpatialGrid, BoundaryInclusive) {
+  const std::vector<vec2> pts{{0.0, 0.0}, {3.0, 4.0}};
+  const spatial_grid grid(pts, 2.0);
+  // Distance exactly 5: included (<= semantics, matching p(d) <= p).
+  const auto res = grid.query_radius({0.0, 0.0}, 5.0, 0);
+  EXPECT_EQ(res, std::vector<point_index>{1});
+  EXPECT_TRUE(grid.query_radius({0.0, 0.0}, 4.999, 0).empty());
+}
+
+TEST(SpatialGrid, ExcludeParameter) {
+  const std::vector<vec2> pts{{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}};
+  const spatial_grid grid(pts, 1.0);
+  const auto with = sorted(grid.query_radius({0.0, 0.0}, 2.0));
+  EXPECT_EQ(with, (std::vector<point_index>{0, 1, 2}));
+  const auto without = sorted(grid.query_radius({0.0, 0.0}, 2.0, 0));
+  EXPECT_EQ(without, (std::vector<point_index>{1, 2}));
+}
+
+TEST(SpatialGrid, NegativeRadiusFindsNothing) {
+  const std::vector<vec2> pts{{0.0, 0.0}};
+  const spatial_grid grid(pts, 1.0);
+  EXPECT_TRUE(grid.query_radius({0.0, 0.0}, -1.0).empty());
+}
+
+TEST(SpatialGrid, CoincidentPoints) {
+  const std::vector<vec2> pts{{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}};
+  const spatial_grid grid(pts, 1.0);
+  EXPECT_EQ(grid.query_radius({1.0, 1.0}, 0.0).size(), 3u);
+}
+
+TEST(SpatialGrid, QueryOutsideBounds) {
+  const std::vector<vec2> pts{{0.0, 0.0}, {10.0, 10.0}};
+  const spatial_grid grid(pts, 5.0);
+  // d((-100,-100),(0,0)) ~ 141.4; d to (10,10) ~ 155.6.
+  EXPECT_EQ(grid.query_radius({-100.0, -100.0}, 150.0).size(), 1u);
+  EXPECT_EQ(grid.query_radius({-100.0, -100.0}, 160.0).size(), 2u);
+}
+
+// Property: grid query == brute force on random clouds, across radii,
+// cell sizes, and query centers (including off-grid centers).
+struct grid_case {
+  std::uint64_t seed;
+  double cell;
+};
+
+class SpatialGridProperty : public ::testing::TestWithParam<grid_case> {};
+
+TEST_P(SpatialGridProperty, MatchesBruteForce) {
+  const auto [seed, cell] = GetParam();
+  const bbox region = bbox::rect(1000.0, 800.0);
+  const std::vector<vec2> pts = uniform_points(300, region, seed);
+  const spatial_grid grid(pts, cell);
+
+  std::mt19937_64 rng(seed ^ 0x9e3779b9);
+  std::uniform_real_distribution<double> ux(-100.0, 1100.0);
+  std::uniform_real_distribution<double> uy(-100.0, 900.0);
+  std::uniform_real_distribution<double> ur(0.0, 400.0);
+  for (int q = 0; q < 50; ++q) {
+    const vec2 center{ux(rng), uy(rng)};
+    const double radius = ur(rng);
+    const auto expected = sorted(brute_force_radius_query(pts, center, radius));
+    const auto actual = sorted(grid.query_radius(center, radius));
+    ASSERT_EQ(actual, expected) << "seed=" << seed << " cell=" << cell << " r=" << radius;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cells, SpatialGridProperty,
+                         ::testing::Values(grid_case{1, 10.0}, grid_case{2, 50.0},
+                                           grid_case{3, 123.0}, grid_case{4, 500.0},
+                                           grid_case{5, 2000.0}, grid_case{6, 33.3}));
+
+TEST(SpatialGrid, QueryRadiusIntoAppends) {
+  const std::vector<vec2> pts{{0.0, 0.0}, {1.0, 0.0}};
+  const spatial_grid grid(pts, 1.0);
+  std::vector<point_index> out{99};
+  grid.query_radius_into({0.0, 0.0}, 10.0, spatial_grid::npos, out);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 99u);
+}
+
+}  // namespace
+}  // namespace cbtc::geom

@@ -1,0 +1,106 @@
+#include "geom/vec2.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "geom/angle.h"
+
+namespace cbtc::geom {
+namespace {
+
+TEST(Vec2, DefaultIsZero) {
+  constexpr vec2 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+}
+
+TEST(Vec2, Arithmetic) {
+  constexpr vec2 a{1.0, 2.0};
+  constexpr vec2 b{3.0, -4.0};
+  EXPECT_EQ(a + b, vec2(4.0, -2.0));
+  EXPECT_EQ(a - b, vec2(-2.0, 6.0));
+  EXPECT_EQ(a * 2.0, vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, vec2(2.0, 4.0));
+  EXPECT_EQ(b / 2.0, vec2(1.5, -2.0));
+  EXPECT_EQ(-a, vec2(-1.0, -2.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  vec2 v{1.0, 1.0};
+  v += {2.0, 3.0};
+  EXPECT_EQ(v, vec2(3.0, 4.0));
+  v -= {1.0, 1.0};
+  EXPECT_EQ(v, vec2(2.0, 3.0));
+  v *= 2.0;
+  EXPECT_EQ(v, vec2(4.0, 6.0));
+  v /= 4.0;
+  EXPECT_EQ(v, vec2(1.0, 1.5));
+}
+
+TEST(Vec2, DotAndCross) {
+  constexpr vec2 a{1.0, 0.0};
+  constexpr vec2 b{0.0, 1.0};
+  EXPECT_EQ(a.dot(b), 0.0);
+  EXPECT_EQ(a.cross(b), 1.0);
+  EXPECT_EQ(b.cross(a), -1.0);
+  EXPECT_EQ(vec2(2.0, 3.0).dot(vec2(4.0, 5.0)), 23.0);
+}
+
+TEST(Vec2, Norms) {
+  const vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  const vec2 u = v.unit();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(u.x, 0.6, 1e-12);
+}
+
+TEST(Vec2, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq({1.0, 1.0}, {4.0, 5.0}), 25.0);
+}
+
+TEST(Vec2, RotatedQuarterTurn) {
+  const vec2 v = vec2{1.0, 0.0}.rotated(pi / 2.0);
+  EXPECT_NEAR(v.x, 0.0, 1e-12);
+  EXPECT_NEAR(v.y, 1.0, 1e-12);
+}
+
+TEST(Vec2, RotationPreservesNorm) {
+  const vec2 v{2.5, -1.5};
+  for (double theta : {0.1, 1.0, 2.0, 4.0, 6.0}) {
+    EXPECT_NEAR(v.rotated(theta).norm(), v.norm(), 1e-12);
+  }
+}
+
+TEST(Vec2, BearingQuadrants) {
+  EXPECT_NEAR(vec2(1.0, 0.0).bearing(), 0.0, 1e-12);
+  EXPECT_NEAR(vec2(0.0, 1.0).bearing(), pi / 2.0, 1e-12);
+  EXPECT_NEAR(vec2(-1.0, 0.0).bearing(), pi, 1e-12);
+  EXPECT_NEAR(vec2(0.0, -1.0).bearing(), 3.0 * pi / 2.0, 1e-12);
+}
+
+TEST(Vec2, BearingIsNormalized) {
+  for (double theta = 0.05; theta < two_pi; theta += 0.37) {
+    const vec2 v = from_bearing(theta);
+    EXPECT_NEAR(v.bearing(), theta, 1e-9);
+  }
+}
+
+TEST(Vec2, PolarPlacesAtDistanceAndBearing) {
+  const vec2 origin{10.0, 20.0};
+  const vec2 p = polar(origin, 5.0, pi / 3.0);
+  EXPECT_NEAR(distance(origin, p), 5.0, 1e-12);
+  EXPECT_NEAR((p - origin).bearing(), pi / 3.0, 1e-12);
+}
+
+TEST(Vec2, StreamOutput) {
+  std::ostringstream os;
+  os << vec2{1.5, -2.0};
+  EXPECT_EQ(os.str(), "(1.5, -2)");
+}
+
+}  // namespace
+}  // namespace cbtc::geom

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+#include "graph/graph.h"
+#include "graph/union_find.h"
+
+namespace cbtc::graph {
+namespace {
+
+// ----------------------------------------------------- undirected_graph
+
+TEST(UndirectedGraph, EmptyGraph) {
+  const undirected_graph g(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.edges().empty());
+  EXPECT_EQ(g.degree(0), 0u);
+}
+
+TEST(UndirectedGraph, AddEdgeSymmetric) {
+  undirected_graph g(3);
+  EXPECT_TRUE(g.add_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_EQ(g.degree(1), 0u);
+}
+
+TEST(UndirectedGraph, DuplicateAndSelfLoopIgnored) {
+  undirected_graph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));
+  EXPECT_FALSE(g.add_edge(2, 2));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(UndirectedGraph, RemoveEdge) {
+  undirected_graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.remove_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.remove_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(UndirectedGraph, NeighborsSorted) {
+  undirected_graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  const auto n = g.neighbors(2);
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_EQ(n[0], 0u);
+  EXPECT_EQ(n[1], 3u);
+  EXPECT_EQ(n[2], 4u);
+}
+
+TEST(UndirectedGraph, EdgesCanonical) {
+  undirected_graph g(4);
+  g.add_edge(3, 1);
+  g.add_edge(0, 2);
+  const auto es = g.edges();
+  ASSERT_EQ(es.size(), 2u);
+  EXPECT_EQ(es[0], (edge{0, 2}));
+  EXPECT_EQ(es[1], (edge{1, 3}));
+}
+
+TEST(UndirectedGraph, HasEdgeOutOfRange) {
+  const undirected_graph g(2);
+  EXPECT_FALSE(g.has_edge(0, 7));
+  EXPECT_FALSE(g.has_edge(9, 0));
+}
+
+TEST(UndirectedGraph, Equality) {
+  undirected_graph a(3), b(3);
+  a.add_edge(0, 1);
+  b.add_edge(0, 1);
+  EXPECT_EQ(a, b);
+  b.add_edge(1, 2);
+  EXPECT_NE(a, b);
+}
+
+// ------------------------------------------------------------- digraph
+
+TEST(Digraph, ArcsAreDirected) {
+  digraph d(3);
+  EXPECT_TRUE(d.add_arc(0, 1));
+  EXPECT_TRUE(d.has_arc(0, 1));
+  EXPECT_FALSE(d.has_arc(1, 0));
+  EXPECT_EQ(d.num_arcs(), 1u);
+  EXPECT_EQ(d.out_degree(0), 1u);
+  EXPECT_EQ(d.out_degree(1), 0u);
+}
+
+TEST(Digraph, DuplicateAndSelfLoopIgnored) {
+  digraph d(2);
+  EXPECT_TRUE(d.add_arc(0, 1));
+  EXPECT_FALSE(d.add_arc(0, 1));
+  EXPECT_FALSE(d.add_arc(1, 1));
+  EXPECT_EQ(d.num_arcs(), 1u);
+}
+
+TEST(Digraph, RemoveArc) {
+  digraph d(2);
+  d.add_arc(0, 1);
+  EXPECT_TRUE(d.remove_arc(0, 1));
+  EXPECT_FALSE(d.remove_arc(0, 1));
+  EXPECT_EQ(d.num_arcs(), 0u);
+}
+
+TEST(Digraph, SymmetricClosureKeepsAnyDirection) {
+  // Example 2.1's lesson: (v,u0) in N_alpha without (u0,v) still must
+  // produce the undirected edge in E_alpha.
+  digraph d(3);
+  d.add_arc(0, 1);  // one-directional
+  d.add_arc(1, 2);
+  d.add_arc(2, 1);  // bidirectional
+  const undirected_graph closure = d.symmetric_closure();
+  EXPECT_TRUE(closure.has_edge(0, 1));
+  EXPECT_TRUE(closure.has_edge(1, 2));
+  EXPECT_EQ(closure.num_edges(), 2u);
+}
+
+TEST(Digraph, SymmetricCoreKeepsOnlyMutual) {
+  // Section 3.2: E^-_alpha keeps only mutual arcs.
+  digraph d(3);
+  d.add_arc(0, 1);
+  d.add_arc(1, 2);
+  d.add_arc(2, 1);
+  const undirected_graph core = d.symmetric_core();
+  EXPECT_FALSE(core.has_edge(0, 1));
+  EXPECT_TRUE(core.has_edge(1, 2));
+  EXPECT_EQ(core.num_edges(), 1u);
+}
+
+TEST(Digraph, CoreSubsetOfClosure) {
+  digraph d(6);
+  d.add_arc(0, 1);
+  d.add_arc(1, 0);
+  d.add_arc(2, 3);
+  d.add_arc(4, 5);
+  d.add_arc(5, 4);
+  d.add_arc(3, 5);
+  const auto closure = d.symmetric_closure();
+  const auto core = d.symmetric_core();
+  for (const edge& e : core.edges()) EXPECT_TRUE(closure.has_edge(e.u, e.v));
+  EXPECT_LE(core.num_edges(), closure.num_edges());
+}
+
+// ---------------------------------------------------------- union_find
+
+TEST(UnionFind, InitiallyDisjoint) {
+  union_find uf(4);
+  EXPECT_EQ(uf.num_sets(), 4u);
+  EXPECT_FALSE(uf.same(0, 1));
+  EXPECT_EQ(uf.size_of(2), 1u);
+}
+
+TEST(UnionFind, UniteMerges) {
+  union_find uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));  // already merged
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_EQ(uf.size_of(0), 2u);
+}
+
+TEST(UnionFind, TransitiveMerging) {
+  union_find uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(1, 2);
+  EXPECT_TRUE(uf.same(0, 3));
+  EXPECT_FALSE(uf.same(0, 4));
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_EQ(uf.size_of(3), 4u);
+}
+
+TEST(UnionFind, ChainOfUnions) {
+  const std::size_t n = 1000;
+  union_find uf(n);
+  for (node_id i = 0; i + 1 < n; ++i) uf.unite(i, i + 1);
+  EXPECT_EQ(uf.num_sets(), 1u);
+  EXPECT_TRUE(uf.same(0, static_cast<node_id>(n - 1)));
+  EXPECT_EQ(uf.size_of(500), n);
+}
+
+}  // namespace
+}  // namespace cbtc::graph

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <any>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "geom/angle.h"
+
+#include "radio/channel.h"
+#include "radio/power_model.h"
+#include "sim/failure.h"
+#include "sim/medium.h"
+#include "sim/mobility.h"
+#include "sim/simulator.h"
+
+namespace cbtc::sim {
+namespace {
+
+// ----------------------------------------------------------- simulator
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  simulator s;
+  std::vector<int> order;
+  s.schedule_in(3.0, [&] { order.push_back(3); });
+  s.schedule_in(1.0, [&] { order.push_back(1); });
+  s.schedule_in(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+}
+
+TEST(Simulator, FifoAtEqualTimes) {
+  simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  simulator s;
+  int fired = 0;
+  s.schedule_in(1.0, [&] {
+    ++fired;
+    s.schedule_in(1.0, [&] { ++fired; });
+  });
+  s.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(s.now(), 2.0);
+}
+
+TEST(Simulator, PastSchedulingClampsToNow) {
+  simulator s;
+  s.schedule_in(5.0, [&] {
+    s.schedule_at(1.0, [] {});  // in the past: runs "now"
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock) {
+  simulator s;
+  int fired = 0;
+  s.schedule_in(1.0, [&] { ++fired; });
+  s.schedule_in(10.0, [&] { ++fired; });
+  EXPECT_EQ(s.run_until(5.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, MaxEventsCap) {
+  simulator s;
+  // A self-perpetuating event chain.
+  std::function<void()> tick = [&] { s.schedule_in(1.0, tick); };
+  s.schedule_in(1.0, tick);
+  EXPECT_EQ(s.run(100), 100u);
+  EXPECT_FALSE(s.idle());
+}
+
+// -------------------------------------------------------------- medium
+
+struct test_net {
+  simulator sim;
+  medium med;
+  std::vector<std::vector<std::pair<rx_info, std::string>>> inbox;
+
+  explicit test_net(std::vector<geom::vec2> positions,
+                    radio::channel_params ch = {})
+      : med(sim, radio::power_model(2.0, 500.0), radio::channel(ch, 1)) {
+    inbox.resize(positions.size());
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      med.add_node(positions[i], [this, i](const rx_info& rx, const std::any& payload) {
+        inbox[i].push_back({rx, std::any_cast<std::string>(payload)});
+      });
+    }
+  }
+};
+
+TEST(Medium, BroadcastReachesOnlyNodesInRange) {
+  test_net net({{0, 0}, {100, 0}, {300, 0}});
+  net.med.broadcast(0, net.med.power().required_power(150.0), std::string("hi"));
+  net.sim.run();
+  EXPECT_EQ(net.inbox[1].size(), 1u);
+  EXPECT_TRUE(net.inbox[2].empty());
+  EXPECT_TRUE(net.inbox[0].empty());  // no self-delivery
+  EXPECT_EQ(net.inbox[1][0].second, "hi");
+}
+
+TEST(Medium, BroadcastAtExactRangeDelivered) {
+  test_net net({{0, 0}, {150, 0}});
+  net.med.broadcast(0, net.med.power().required_power(150.0), std::string("edge"));
+  net.sim.run();
+  EXPECT_EQ(net.inbox[1].size(), 1u);
+}
+
+TEST(Medium, RxInfoMetadata) {
+  test_net net({{0, 0}, {100, 0}});
+  const double p = net.med.power().required_power(200.0);
+  net.med.broadcast(0, p, std::string("m"));
+  net.sim.run();
+  ASSERT_EQ(net.inbox[1].size(), 1u);
+  const rx_info& rx = net.inbox[1][0].first;
+  EXPECT_EQ(rx.sender, 0u);
+  EXPECT_DOUBLE_EQ(rx.tx_power, p);
+  // Receiver at (100,0) sees the sender toward bearing pi.
+  EXPECT_NEAR(rx.direction, geom::pi, 1e-12);
+  // Required-power estimate recovers p(100) = 10000.
+  EXPECT_NEAR(net.med.power().estimate_required_power(rx.tx_power, rx.rx_power), 10000.0, 1e-6);
+}
+
+TEST(Medium, UnicastOnlyTarget) {
+  test_net net({{0, 0}, {100, 0}, {100, 10}});
+  net.med.unicast(0, 1, net.med.power().max_power(), std::string("u"));
+  net.sim.run();
+  EXPECT_EQ(net.inbox[1].size(), 1u);
+  EXPECT_TRUE(net.inbox[2].empty());
+}
+
+TEST(Medium, UnicastOutOfRangeSilentlyLost) {
+  test_net net({{0, 0}, {400, 0}});
+  net.med.unicast(0, 1, net.med.power().required_power(100.0), std::string("far"));
+  net.sim.run();
+  EXPECT_TRUE(net.inbox[1].empty());
+}
+
+TEST(Medium, CrashedNodesNeitherSendNorReceive) {
+  test_net net({{0, 0}, {100, 0}});
+  net.med.crash(1);
+  net.med.broadcast(0, net.med.power().max_power(), std::string("a"));
+  net.sim.run();
+  EXPECT_TRUE(net.inbox[1].empty());
+
+  net.med.crash(0);
+  net.med.broadcast(0, net.med.power().max_power(), std::string("b"));
+  net.sim.run();
+  EXPECT_TRUE(net.inbox[1].empty());
+
+  net.med.restart(0);
+  net.med.restart(1);
+  net.med.broadcast(0, net.med.power().max_power(), std::string("c"));
+  net.sim.run();
+  EXPECT_EQ(net.inbox[1].size(), 1u);
+}
+
+TEST(Medium, CrashWhileInFlightDropsDelivery) {
+  test_net net({{0, 0}, {100, 0}});
+  net.med.broadcast(0, net.med.power().max_power(), std::string("x"));
+  // Crash the receiver before the (base_delay) delivery fires.
+  net.med.crash(1);
+  net.sim.run();
+  EXPECT_TRUE(net.inbox[1].empty());
+}
+
+TEST(Medium, StatsCountTraffic) {
+  test_net net({{0, 0}, {100, 0}, {200, 0}});
+  net.med.broadcast(0, net.med.power().max_power(), std::string("a"));
+  net.med.unicast(1, 2, net.med.power().max_power(), std::string("b"));
+  net.sim.run();
+  EXPECT_EQ(net.med.stats().broadcasts, 1u);
+  EXPECT_EQ(net.med.stats().unicasts, 1u);
+  EXPECT_EQ(net.med.stats().deliveries, 3u);  // bcast to 2 + unicast to 1
+  EXPECT_GT(net.med.stats().tx_energy, 0.0);
+}
+
+TEST(Medium, LossyChannelDrops) {
+  test_net net({{0, 0}, {10, 0}}, {.drop_prob = 1.0});
+  net.med.broadcast(0, net.med.power().max_power(), std::string("gone"));
+  net.sim.run();
+  EXPECT_TRUE(net.inbox[1].empty());
+  EXPECT_EQ(net.med.stats().drops, 1u);
+}
+
+TEST(Medium, DuplicatingChannelDeliversTwice) {
+  test_net net({{0, 0}, {10, 0}}, {.dup_prob = 1.0});
+  net.med.broadcast(0, net.med.power().max_power(), std::string("twice"));
+  net.sim.run();
+  EXPECT_EQ(net.inbox[1].size(), 2u);
+}
+
+// ------------------------------------------------------------ mobility
+
+TEST(RandomWaypoint, KeepsNodesInRegionAndMovesThem) {
+  simulator sim;
+  medium med(sim, radio::power_model(2.0, 100.0));
+  const geom::bbox region = geom::bbox::rect(200.0, 200.0);
+  med.add_node({100.0, 100.0}, {});
+  med.add_node({50.0, 50.0}, {});
+  const geom::vec2 start0 = med.position(0);
+
+  random_waypoint rw(med, {.region = region, .min_speed = 5.0, .max_speed = 10.0}, 42);
+  rw.start(0.5, 50.0);
+  sim.run();
+
+  EXPECT_TRUE(region.contains(med.position(0)));
+  EXPECT_TRUE(region.contains(med.position(1)));
+  EXPECT_GT(geom::distance(start0, med.position(0)), 0.0);
+}
+
+TEST(BouncingMobility, ReflectsAtWalls) {
+  simulator sim;
+  medium med(sim, radio::power_model(2.0, 100.0));
+  const geom::bbox region = geom::bbox::rect(100.0, 100.0);
+  med.add_node({95.0, 50.0}, {});
+  bouncing_mobility bm(med, region, {{10.0, 0.0}});
+  bm.start(1.0, 10.0);
+  sim.run();
+  // Node hit the right wall and bounced back inside.
+  EXPECT_TRUE(region.contains(med.position(0)));
+  EXPECT_LT(med.position(0).x, 100.0);
+}
+
+// ------------------------------------------------------------- failure
+
+TEST(FailureInjector, CrashAndRestartAtTimes) {
+  simulator sim;
+  medium med(sim, radio::power_model(2.0, 100.0));
+  med.add_node({0, 0}, {});
+  failure_injector inj(med);
+  inj.crash_at(0, 5.0);
+  inj.restart_at(0, 10.0);
+
+  sim.run_until(6.0);
+  EXPECT_FALSE(med.is_up(0));
+  sim.run_until(11.0);
+  EXPECT_TRUE(med.is_up(0));
+}
+
+TEST(FailureInjector, RandomCrashesDistinctVictims) {
+  simulator sim;
+  medium med(sim, radio::power_model(2.0, 100.0));
+  for (int i = 0; i < 20; ++i) med.add_node({double(i), 0.0}, {});
+  failure_injector inj(med, 7);
+  const auto victims = inj.random_crashes(5, 0.0, 1.0);
+  EXPECT_EQ(victims.size(), 5u);
+  std::set<node_id> unique(victims.begin(), victims.end());
+  EXPECT_EQ(unique.size(), 5u);
+  sim.run();
+  for (node_id v : victims) EXPECT_FALSE(med.is_up(v));
+}
+
+}  // namespace
+}  // namespace cbtc::sim

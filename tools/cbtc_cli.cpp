@@ -1,0 +1,241 @@
+// cbtc — command-line topology-control workbench.
+//
+//   cbtc generate --nodes 100 --region 1500 --seed 1 --out nodes.csv
+//   cbtc build    --in nodes.csv --alpha 2.618 --all-opts --svg topo.svg
+//   cbtc analyze  --in nodes.csv
+//   cbtc compare  --in nodes.csv
+//
+// generate: write a random deployment as CSV (uniform | cluster | grid)
+// build:    run CBTC(alpha) (+ optimizations) and export the topology
+// analyze:  per-instance alpha threshold scan + invariant checks
+// compare:  metrics table against the position-based baselines
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algo/alpha_search.h"
+#include "algo/analysis.h"
+#include "algo/pipeline.h"
+#include "baselines/baselines.h"
+#include "exp/table.h"
+#include "geom/random_points.h"
+#include "graph/euclidean.h"
+#include "graph/graph_io.h"
+#include "graph/interference.h"
+#include "graph/metrics.h"
+#include "graph/position_io.h"
+#include "graph/robustness.h"
+#include "graph/traversal.h"
+
+namespace {
+
+using namespace cbtc;
+
+struct cli_args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> flags;
+
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double num(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] bool has_flag(const std::string& f) const {
+    return std::find(flags.begin(), flags.end(), f) != flags.end();
+  }
+};
+
+cli_args parse(int argc, char** argv) {
+  cli_args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) continue;
+    a = a.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options[a] = argv[++i];
+    } else {
+      args.flags.push_back(a);
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::cout <<
+      "usage: cbtc_cli <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  generate  --nodes N --region S [--layout uniform|cluster|grid]\n"
+      "            [--clusters K --sigma S] [--seed N] --out FILE.csv\n"
+      "  build     --in FILE.csv [--alpha RAD] [--range R] [--exponent N]\n"
+      "            [--all-opts | --shrink-back --asym --pairwise]\n"
+      "            [--continuous] [--svg FILE] [--dot FILE] [--edges FILE]\n"
+      "  analyze   --in FILE.csv [--range R] [--exponent N]\n"
+      "  compare   --in FILE.csv [--range R] [--exponent N]\n";
+  return 2;
+}
+
+int cmd_generate(const cli_args& args) {
+  const auto nodes = static_cast<std::size_t>(args.num("nodes", 100));
+  const double side = args.num("region", 1500.0);
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const std::string layout = args.get("layout", "uniform");
+  const std::string out = args.get("out", "nodes.csv");
+  const geom::bbox region = geom::bbox::rect(side, side);
+
+  std::vector<geom::vec2> positions;
+  if (layout == "uniform") {
+    positions = geom::uniform_points(nodes, region, seed);
+  } else if (layout == "cluster") {
+    positions = geom::clustered_points(nodes, static_cast<std::size_t>(args.num("clusters", 5)),
+                                       args.num("sigma", side / 10.0), region, seed);
+  } else if (layout == "grid") {
+    positions = geom::jittered_grid_points(nodes, args.num("jitter", 0.3), region, seed);
+  } else {
+    std::cerr << "unknown layout: " << layout << "\n";
+    return 2;
+  }
+  graph::save_positions_csv(out, positions);
+  std::cout << "wrote " << positions.size() << " positions to " << out << "\n";
+  return 0;
+}
+
+radio::power_model model_from(const cli_args& args) {
+  return radio::power_model(args.num("exponent", 2.0), args.num("range", 500.0));
+}
+
+int cmd_build(const cli_args& args) {
+  const auto positions = graph::load_positions_csv(args.get("in", "nodes.csv"));
+  const radio::power_model pm = model_from(args);
+
+  algo::cbtc_params params;
+  params.alpha = args.num("alpha", algo::alpha_five_pi_six);
+  if (args.has_flag("continuous")) params.mode = algo::growth_mode::continuous;
+
+  algo::optimization_set opts;
+  if (args.has_flag("all-opts")) {
+    opts = algo::optimization_set::all();
+  } else {
+    opts.shrink_back = args.has_flag("shrink-back");
+    opts.asymmetric_removal = args.has_flag("asym");
+    opts.pairwise_removal = args.has_flag("pairwise");
+  }
+
+  const algo::topology_result result = algo::build_topology(positions, pm, params, opts);
+  const auto gr = graph::build_max_power_graph(positions, pm.max_range());
+  const auto report = algo::check_invariants(result.topology, positions, pm.max_range());
+
+  exp::table t({"metric", "topology", "max power"});
+  t.add_row({"edges", std::to_string(result.topology.num_edges()), std::to_string(gr.num_edges())});
+  t.add_row({"avg degree", exp::table::num(graph::average_degree(result.topology)),
+             exp::table::num(graph::average_degree(gr))});
+  t.add_row({"avg radius",
+             exp::table::num(graph::average_radius(result.topology, positions, pm.max_range())),
+             exp::table::num(pm.max_range())});
+  t.add_row({"interference",
+             exp::table::num(graph::topology_interference(result.topology, positions).mean),
+             exp::table::num(graph::topology_interference(gr, positions).mean)});
+  t.add_row({"cut vertices", std::to_string(graph::articulation_points(result.topology).size()),
+             std::to_string(graph::articulation_points(gr).size())});
+  t.add_row({"connectivity preserved", report.connectivity_preserved ? "yes" : "NO", "-"});
+  t.print(std::cout);
+  for (const std::string& v : report.violations) std::cout << "violation: " << v << "\n";
+
+  geom::bbox region{positions.front(), positions.front()};
+  for (const auto& p : positions) {
+    region.min.x = std::min(region.min.x, p.x);
+    region.min.y = std::min(region.min.y, p.y);
+    region.max.x = std::max(region.max.x, p.x);
+    region.max.y = std::max(region.max.y, p.y);
+  }
+  if (const std::string svg = args.get("svg", ""); !svg.empty()) {
+    graph::save_svg(svg, result.topology, positions, region, {.title = "CBTC topology"});
+    std::cout << "wrote " << svg << "\n";
+  }
+  if (const std::string dot = args.get("dot", ""); !dot.empty()) {
+    std::ofstream f(dot);
+    graph::write_dot(f, result.topology, positions);
+    std::cout << "wrote " << dot << "\n";
+  }
+  if (const std::string edges = args.get("edges", ""); !edges.empty()) {
+    std::ofstream f(edges);
+    graph::write_edge_csv(f, result.topology, positions);
+    std::cout << "wrote " << edges << "\n";
+  }
+  return report.ok() ? 0 : 1;
+}
+
+int cmd_analyze(const cli_args& args) {
+  const auto positions = graph::load_positions_csv(args.get("in", "nodes.csv"));
+  const radio::power_model pm = model_from(args);
+
+  const auto scan =
+      algo::scan_alpha(positions, pm, geom::pi / 3.0, 1.2 * geom::pi, 16);
+  exp::table t({"alpha/pi", "connectivity preserved"});
+  for (const auto& s : scan.samples) {
+    t.add_row({exp::table::num(s.alpha / geom::pi, 3), s.preserved ? "yes" : "no"});
+  }
+  t.print(std::cout);
+
+  const double threshold = algo::max_preserving_alpha(positions, pm, algo::alpha_five_pi_six,
+                                                      1.99 * geom::pi, 1e-3);
+  std::cout << "\nempirical per-instance threshold: alpha = " << threshold << " ("
+            << exp::table::num(threshold / geom::pi, 3) << " pi)\n"
+            << "theorem guarantee (worst case):   alpha = 5*pi/6 (0.833 pi)\n";
+  return 0;
+}
+
+int cmd_compare(const cli_args& args) {
+  const auto positions = graph::load_positions_csv(args.get("in", "nodes.csv"));
+  const radio::power_model pm = model_from(args);
+  const double R = pm.max_range();
+  const auto gr = graph::build_max_power_graph(positions, R);
+
+  algo::cbtc_params params;
+  params.mode = algo::growth_mode::continuous;
+  const auto cbtc_topo =
+      algo::build_topology(positions, pm, params, algo::optimization_set::all()).topology;
+
+  const std::vector<std::pair<std::string, graph::undirected_graph>> rows{
+      {"CBTC all-op 5pi/6", cbtc_topo},
+      {"Euclidean MST", baselines::euclidean_mst(positions, R)},
+      {"RNG", baselines::relative_neighborhood_graph(positions, R)},
+      {"Gabriel", baselines::gabriel_graph(positions, R)},
+      {"Yao (6 cones)", baselines::yao_graph(positions, R, 6)},
+      {"max power", gr},
+  };
+  exp::table t({"topology", "edges", "avg degree", "avg radius", "interference", "preserved"});
+  for (const auto& [name, g] : rows) {
+    t.add_row({name, std::to_string(g.num_edges()), exp::table::num(graph::average_degree(g)),
+               exp::table::num(graph::average_radius(g, positions, R)),
+               exp::table::num(graph::topology_interference(g, positions).mean, 1),
+               graph::same_connectivity(g, gr) ? "yes" : "no"});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cli_args args = parse(argc, argv);
+  try {
+    if (args.command == "generate") return cmd_generate(args);
+    if (args.command == "build") return cmd_build(args);
+    if (args.command == "analyze") return cmd_analyze(args);
+    if (args.command == "compare") return cmd_compare(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
