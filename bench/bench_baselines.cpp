@@ -4,89 +4,84 @@
 // related work it cites (RNG, Gabriel graphs, theta/Yao graphs, MST)
 // all need positions. This bench quantifies what that costs: degree,
 // radius, transmit power, and route stretch on the paper's workload.
+// Every row is one cbtc::api scenario batched over the same seed range
+// through the parallel engine.
 //
-// Usage: bench_baselines [networks]
-#include <functional>
+// Usage: bench_baselines [networks] [--threads N]
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "algo/augment.h"
-#include "algo/pipeline.h"
-#include "baselines/baselines.h"
-#include "exp/stats.h"
+#include "api/api.h"
 #include "exp/table.h"
-#include "exp/workload.h"
-#include "graph/euclidean.h"
-#include "graph/interference.h"
-#include "graph/metrics.h"
-#include "graph/robustness.h"
-#include "graph/traversal.h"
 
 int main(int argc, char** argv) {
   using namespace cbtc;
-  const std::size_t networks = argc > 1 ? std::stoul(argv[1]) : 20;
+  std::uint64_t networks = 20;
+  unsigned threads = 0;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--threads") {
+        if (i + 1 >= argc) throw std::invalid_argument("--threads needs a value");
+        threads = static_cast<unsigned>(std::stoul(argv[++i]));
+      } else {
+        networks = std::stoul(a);
+      }
+    }
+  } catch (const std::exception&) {
+    std::cerr << "usage: bench_baselines [networks] [--threads N]\n";
+    return 2;
+  }
 
-  exp::workload_params w = exp::paper_workload();
-  const radio::power_model pm = exp::workload_power(w);
+  // Paper workload; rows swap the method (and one adds the bridge-
+  // augmentation extension on top of CBTC). Discrete growth — the
+  // deployable Increase(p) = 2p schedule this bench has always
+  // measured (paper_table1 defaults to paper-matching continuous).
+  api::scenario_spec base = api::get_scenario("paper_table1");
+  base.cbtc.mode = algo::growth_mode::discrete;
+  base.metrics.stretch_samples = 8;
 
-  using builder = std::function<graph::undirected_graph(const std::vector<geom::vec2>&)>;
-  auto cbtc_all = [&pm](double alpha) {
-    return [&pm, alpha](const std::vector<geom::vec2>& pts) {
-      algo::cbtc_params params;
-      params.alpha = alpha;
-      return algo::build_topology(pts, pm, params, algo::optimization_set::all()).topology;
-    };
+  const auto cbtc_at = [&base](double alpha) {
+    api::scenario_spec s = base;
+    s.cbtc.alpha = alpha;
+    return s;
   };
-  const double R = w.max_range;
-  const std::vector<std::pair<std::string, builder>> rows{
-      {"CBTC all-op a=5pi/6 (directional only)", cbtc_all(algo::alpha_five_pi_six)},
-      {"CBTC all-op a=2pi/3 (directional only)", cbtc_all(algo::alpha_two_pi_three)},
-      {"CBTC all-op + bridge augmentation (ext.)",
-       [&pm, cbtc_all, R](const std::vector<geom::vec2>& pts) {
-         return algo::augment_bridge_resilience(cbtc_all(algo::alpha_five_pi_six)(pts), pts, R)
-             .topology;
-       }},
-      {"Euclidean MST (global positions)",
-       [R](const std::vector<geom::vec2>& p) { return baselines::euclidean_mst(p, R); }},
-      {"Relative neighborhood graph",
-       [R](const std::vector<geom::vec2>& p) { return baselines::relative_neighborhood_graph(p, R); }},
-      {"Gabriel graph",
-       [R](const std::vector<geom::vec2>& p) { return baselines::gabriel_graph(p, R); }},
-      {"Yao graph (6 cones)",
-       [R](const std::vector<geom::vec2>& p) { return baselines::yao_graph(p, R, 6); }},
-      {"kNN graph (k=3)",
-       [R](const std::vector<geom::vec2>& p) { return baselines::knn_graph(p, R, 3); }},
-      {"max power (G_R)",
-       [R](const std::vector<geom::vec2>& p) { return graph::build_max_power_graph(p, R); }},
+  const auto baseline = [&base](api::baseline_kind kind) {
+    api::scenario_spec s = base;
+    s.method = api::method_spec::of_baseline(kind);
+    return s;
+  };
+  api::scenario_spec augmented = cbtc_at(algo::alpha_five_pi_six);
+  augmented.post.bridge_augmentation = true;
+
+  const std::vector<std::pair<std::string, api::scenario_spec>> rows{
+      {"CBTC all-op a=5pi/6 (directional only)", cbtc_at(algo::alpha_five_pi_six)},
+      {"CBTC all-op a=2pi/3 (directional only)", cbtc_at(algo::alpha_two_pi_three)},
+      {"CBTC all-op + bridge augmentation (ext.)", augmented},
+      {"Euclidean MST (global positions)", baseline(api::baseline_kind::euclidean_mst)},
+      {"Relative neighborhood graph", baseline(api::baseline_kind::relative_neighborhood)},
+      {"Gabriel graph", baseline(api::baseline_kind::gabriel)},
+      {"Yao graph (6 cones)", baseline(api::baseline_kind::yao)},
+      {"kNN graph (k=3)", baseline(api::baseline_kind::knn)},
+      {"max power (G_R)", baseline(api::baseline_kind::max_power)},
   };
 
-  std::cout << "CBTC vs position-based baselines: " << networks << " networks x " << w.nodes
-            << " nodes (paper workload)\n\n";
+  std::cout << "CBTC vs position-based baselines: " << networks << " networks x "
+            << base.deploy.nodes << " nodes (paper workload)\n\n";
+
+  const api::engine eng;
+  const api::seed_range seeds{3000, networks};
 
   exp::table out({"topology", "avg degree", "avg radius", "avg tx power", "power stretch",
                   "hop stretch", "interference", "cut vertices", "connectivity preserved"});
-  for (const auto& [name, build] : rows) {
-    exp::summary deg, rad, pow_, ps, hs, intf, cuts;
-    std::size_t preserved = 0;
-    for (std::size_t net = 0; net < networks; ++net) {
-      const auto positions = exp::network_positions(w, 3000 + net);
-      const auto gr = graph::build_max_power_graph(positions, R);
-      const auto topo = build(positions);
-      deg.add(graph::average_degree(topo));
-      rad.add(graph::average_radius(topo, positions, R));
-      pow_.add(graph::average_power(topo, positions, pm.exponent(), R));
-      ps.add(graph::power_stretch(topo, gr, positions, pm.exponent(), 8).mean);
-      hs.add(graph::hop_stretch(topo, gr, 8).mean);
-      intf.add(graph::topology_interference(topo, positions).mean);
-      cuts.add(static_cast<double>(graph::articulation_points(topo).size()));
-      if (graph::same_connectivity(topo, gr)) ++preserved;
-    }
-    out.add_row({name, exp::table::num(deg.mean()), exp::table::num(rad.mean()),
-                 exp::table::num(pow_.mean(), 0), exp::table::num(ps.mean(), 3),
-                 exp::table::num(hs.mean(), 3), exp::table::num(intf.mean(), 1),
-                 exp::table::num(cuts.mean(), 1),
-                 exp::table::num(static_cast<double>(preserved) / networks, 2)});
+  for (const auto& [name, spec] : rows) {
+    const api::batch_report b = eng.run_batch(spec, seeds, threads);
+    out.add_row({name, exp::table::num(b.degree.mean()), exp::table::num(b.radius.mean()),
+                 exp::table::num(b.tx_power.mean(), 0), exp::table::num(b.power_stretch.mean(), 3),
+                 exp::table::num(b.hop_stretch.mean(), 3), exp::table::num(b.interference.mean(), 1),
+                 exp::table::num(b.cut_vertices.mean(), 1),
+                 exp::table::num(b.preserved_fraction(), 2)});
   }
   out.print(std::cout);
 

@@ -6,9 +6,12 @@
 //   (e) 5*pi/6 + shrink-back       (f) 2*pi/3 + shrink-back + asym removal
 //   (g) 5*pi/6, all optimizations  (h) 2*pi/3, all optimizations
 //
-// Emits one SVG per panel plus a stats table (edges / degree / radius),
-// so the qualitative comparison in the paper (dense areas thin out,
-// optimizations sparsify further) can be made visually and numerically.
+// Every panel is the `figure6` registry scenario with its alpha /
+// optimization set varied, run through the cbtc::api engine on the same
+// network seed. Emits one SVG per panel plus a stats table (edges /
+// degree / radius), so the qualitative comparison in the paper (dense
+// areas thin out, optimizations sparsify further) can be made visually
+// and numerically.
 //
 // Usage: bench_figure6 [seed_index] [output_dir]
 #include <filesystem>
@@ -16,27 +19,19 @@
 #include <string>
 #include <vector>
 
-#include "algo/pipeline.h"
+#include "api/api.h"
 #include "exp/table.h"
-#include "exp/workload.h"
-#include "graph/euclidean.h"
 #include "graph/graph_io.h"
-#include "graph/metrics.h"
-#include "graph/traversal.h"
 
 int main(int argc, char** argv) {
   using namespace cbtc;
 
-  const exp::workload_params w = exp::paper_workload();
-  const std::size_t seed_index = argc > 1 ? std::stoul(argv[1]) : 0;
+  const std::uint64_t seed_index = argc > 1 ? std::stoul(argv[1]) : 0;
   const std::string out_dir = argc > 2 ? argv[2] : "figure6";
   std::filesystem::create_directories(out_dir);
 
-  const std::vector<geom::vec2> positions = exp::network_positions(w, seed_index);
-  const radio::power_model pm = exp::workload_power(w);
-  const geom::bbox region = geom::bbox::rect(w.region_side, w.region_side);
-  const auto gr = graph::build_max_power_graph(positions, w.max_range);
-
+  const api::scenario_spec base = api::get_scenario("figure6");
+  const geom::bbox region = base.region();
   const double a56 = algo::alpha_five_pi_six;
   const double a23 = algo::alpha_two_pi_three;
   using opt = algo::optimization_set;
@@ -59,31 +54,33 @@ int main(int argc, char** argv) {
       {"h", "(h) alpha=2pi/3, all optimizations", a23, opt::all()},
   };
 
-  std::cout << "Figure 6 reproduction: network #" << seed_index << " (" << w.nodes
-            << " nodes, region " << w.region_side << "^2, R = " << w.max_range << ")\n\n";
+  std::cout << "Figure 6 reproduction: network #" << seed_index << " (" << base.deploy.nodes
+            << " nodes, region " << base.deploy.region_side << "^2, R = " << base.radio.max_range
+            << ")\n\n";
+
+  const api::engine eng;
+  const std::vector<geom::vec2> positions = base.make_positions(seed_index);
 
   exp::table stats({"panel", "edges", "avg degree", "avg radius", "max radius", "connected=G_R"});
   for (const panel& p : panels) {
-    graph::undirected_graph topo;
+    api::scenario_spec spec = base;
     if (p.alpha == 0.0) {
-      topo = gr;
+      spec.method = api::method_spec::of_baseline(api::baseline_kind::max_power);
     } else {
-      algo::cbtc_params params;
-      params.alpha = p.alpha;
-      params.mode = algo::growth_mode::continuous;  // paper-matching growth
-      topo = algo::build_topology(positions, pm, params, p.opts).topology;
+      spec.cbtc.alpha = p.alpha;
+      spec.opts = p.opts;
     }
+    const api::run_report r = eng.run(spec, seed_index);
+
     graph::svg_style style;
     style.title = p.title;
     style.node_labels = true;
     const std::string path = out_dir + "/figure6_" + p.key + ".svg";
-    graph::save_svg(path, topo, positions, region, style);
+    graph::save_svg(path, r.topology, positions, region, style);
 
-    stats.add_row({p.title, std::to_string(topo.num_edges()),
-                   exp::table::num(graph::average_degree(topo)),
-                   exp::table::num(graph::average_radius(topo, positions, w.max_range)),
-                   exp::table::num(graph::max_radius(topo, positions, w.max_range)),
-                   graph::same_connectivity(topo, gr) ? "yes" : "NO"});
+    stats.add_row({p.title, std::to_string(r.edges), exp::table::num(r.avg_degree),
+                   exp::table::num(r.avg_radius), exp::table::num(r.max_radius),
+                   r.invariants.connectivity_preserved ? "yes" : "NO"});
   }
   stats.print(std::cout);
   std::cout << "\nwrote " << panels.size() << " SVGs to " << out_dir << "/\n";

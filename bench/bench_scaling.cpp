@@ -1,53 +1,100 @@
 // Experiment X4: runtime scaling (google-benchmark).
 //
 // CBTC itself is a distributed algorithm; what scales here is our
-// centralized oracle and the simulation substrate. Constant density is
-// maintained by growing the region with the node count.
+// centralized engine and the simulation substrate. Scenario execution
+// goes through the cbtc::api façade (deploy + method + metrics);
+// the remaining micro-benchmarks time the geometric substrate the
+// engine is built on. Constant density is maintained by growing the
+// region with the node count.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 
-#include "algo/pipeline.h"
-#include "baselines/baselines.h"
+#include "api/api.h"
 #include "geom/random_points.h"
 #include "geom/spatial_grid.h"
 #include "graph/euclidean.h"
-#include "proto/runner.h"
 
 namespace {
 
 using namespace cbtc;
 
-constexpr double density_side_for(std::int64_t nodes) {
+double density_side_for(std::int64_t nodes) {
   // 100 nodes <-> 1500^2 (the paper's density).
   return 1500.0 * std::sqrt(static_cast<double>(nodes) / 100.0);
 }
 
+/// Scenario at the paper's density with `nodes` nodes; metrics off so
+/// the engine time is dominated by the algorithm under test.
+api::scenario_spec scaling_spec(std::int64_t nodes) {
+  api::scenario_spec spec;
+  spec.deploy.nodes = static_cast<std::size_t>(nodes);
+  spec.deploy.region_side = density_side_for(nodes);
+  spec.base_seed = 42;
+  spec.metrics = {.stretch = false, .interference = false, .robustness = false};
+  return spec;
+}
+
 std::vector<geom::vec2> make_positions(std::int64_t nodes) {
-  const double side = density_side_for(nodes);
-  return geom::uniform_points(static_cast<std::size_t>(nodes), geom::bbox::rect(side, side), 42);
+  return scaling_spec(nodes).make_positions(0);
 }
 
 const radio::power_model pm(2.0, 500.0);
+const api::engine eng;
 
-void BM_CbtcOracle(benchmark::State& state) {
-  const auto positions = make_positions(state.range(0));
+void BM_EngineOracle(benchmark::State& state) {
+  const api::scenario_spec spec = scaling_spec(state.range(0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(algo::run_cbtc(positions, pm, {}));
+    benchmark::DoNotOptimize(eng.run(spec));
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_CbtcOracle)->RangeMultiplier(2)->Range(100, 1600)->Complexity();
+BENCHMARK(BM_EngineOracle)->RangeMultiplier(2)->Range(100, 1600)->Complexity();
 
-void BM_FullPipeline(benchmark::State& state) {
-  const auto positions = make_positions(state.range(0));
+void BM_EngineFullPipeline(benchmark::State& state) {
+  api::scenario_spec spec = scaling_spec(state.range(0));
+  spec.opts = algo::optimization_set::all();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        algo::build_topology(positions, pm, {}, algo::optimization_set::all()));
+    benchmark::DoNotOptimize(eng.run(spec));
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_FullPipeline)->RangeMultiplier(2)->Range(100, 1600)->Complexity();
+BENCHMARK(BM_EngineFullPipeline)->RangeMultiplier(2)->Range(100, 1600)->Complexity();
+
+void BM_EngineProtocol(benchmark::State& state) {
+  api::scenario_spec spec = scaling_spec(state.range(0));
+  spec.method = api::method_spec::protocol();
+  spec.protocol.agent.round_timeout = 0.5;
+  spec.protocol.channel.base_delay = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.run(spec));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EngineProtocol)->RangeMultiplier(2)->Range(50, 200)->Complexity();
+
+/// Multi-seed batch throughput: 8 instances of the paper workload per
+/// iteration, fanned over state.range(0) threads.
+void BM_EngineBatch(benchmark::State& state) {
+  api::scenario_spec spec = scaling_spec(100);
+  spec.opts = algo::optimization_set::all();
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.run_batch(spec, {0, 8}, threads));
+  }
+}
+BENCHMARK(BM_EngineBatch)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_EngineBaselineMst(benchmark::State& state) {
+  api::scenario_spec spec = scaling_spec(state.range(0));
+  spec.method = api::method_spec::of_baseline(api::baseline_kind::euclidean_mst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.run(spec));
+  }
+}
+BENCHMARK(BM_EngineBaselineMst)->RangeMultiplier(2)->Range(100, 800);
+
+// -- substrate micro-benchmarks (not scenario orchestration) ----------
 
 void BM_MaxPowerGraphGrid(benchmark::State& state) {
   const auto positions = make_positions(state.range(0));
@@ -88,33 +135,6 @@ void BM_SpatialGridQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpatialGridQuery);
-
-void BM_PairwiseRemoval(benchmark::State& state) {
-  const auto positions = make_positions(state.range(0));
-  const auto closure = algo::run_cbtc(positions, pm, {}).symmetric_closure();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(algo::apply_pairwise_removal(closure, positions, {}));
-  }
-}
-BENCHMARK(BM_PairwiseRemoval)->RangeMultiplier(2)->Range(100, 800);
-
-void BM_BaselineMst(benchmark::State& state) {
-  const auto positions = make_positions(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(baselines::euclidean_mst(positions, pm.max_range()));
-  }
-}
-BENCHMARK(BM_BaselineMst)->RangeMultiplier(2)->Range(100, 800);
-
-void BM_DistributedProtocol(benchmark::State& state) {
-  const auto positions = make_positions(state.range(0));
-  proto::protocol_run_config cfg;
-  cfg.agent.round_timeout = 0.5;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(proto::run_protocol(positions, pm, cfg));
-  }
-}
-BENCHMARK(BM_DistributedProtocol)->RangeMultiplier(2)->Range(50, 200);
 
 }  // namespace
 

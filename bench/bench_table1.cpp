@@ -6,8 +6,10 @@
 //     op3 - pairwise edge removal)."
 //
 // Workload (Section 5): 100 random networks, 100 nodes each, uniform in
-// a 1500 x 1500 region, maximum transmission radius 500. Metrics are
-// averaged over nodes, then over networks.
+// a 1500 x 1500 region, maximum transmission radius 500 — the
+// `paper_table1` scenario of the cbtc::api registry. Metrics are
+// averaged over nodes, then over networks; every row is one scenario
+// variation run as a multi-seed batch through the parallel engine.
 //
 // Growth mode: continuous (idealized growth, power grows to exactly the
 // next undiscovered neighbor). This reproduces the paper's basic-row
@@ -17,53 +19,60 @@
 // deployable doubling schedule instead (degrees rise by ~2 from the
 // overshoot; see EXPERIMENTS.md).
 //
-// Usage: bench_table1 [networks] [csv_path] [--discrete]
+// Usage: bench_table1 [networks] [csv_path] [--discrete] [--threads N]
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "algo/pipeline.h"
-#include "exp/stats.h"
+#include "api/api.h"
 #include "exp/table.h"
-#include "exp/workload.h"
-#include "graph/euclidean.h"
-#include "graph/metrics.h"
-#include "graph/traversal.h"
 
 namespace {
 
 using namespace cbtc;
 
-struct config {
+struct row_config {
   std::string name;
   double paper_degree;
   double paper_radius;
-  double alpha;                  // 0 = max power (no topology control)
+  double alpha;  // 0 = max power (no topology control)
   algo::optimization_set opts;
-};
-
-struct cell {
-  exp::summary degree;
-  exp::summary radius;
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  exp::workload_params w = exp::paper_workload();
   algo::growth_mode mode = algo::growth_mode::continuous;
-  std::vector<std::string> args(argv + 1, argv + argc);
-  std::erase_if(args, [&mode](const std::string& a) {
-    if (a == "--discrete") {
-      mode = algo::growth_mode::discrete;
-      return true;
+  unsigned threads = 0;  // 0 = hardware concurrency
+  std::uint64_t networks = 100;
+  std::string csv_path = "table1.csv";
+  try {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (std::size_t i = 0; i < args.size();) {
+      if (args[i] == "--discrete") {
+        mode = algo::growth_mode::discrete;
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      } else if (args[i] == "--threads") {
+        if (i + 1 >= args.size()) throw std::invalid_argument("--threads needs a value");
+        threads = static_cast<unsigned>(std::stoul(args[i + 1]));
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                   args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      } else {
+        ++i;
+      }
     }
-    return false;
-  });
-  if (!args.empty()) w.networks = std::stoul(args[0]);
-  const std::string csv_path = args.size() > 1 ? args[1] : "table1.csv";
-  const radio::power_model pm = exp::workload_power(w);
+    if (!args.empty()) networks = std::stoul(args[0]);
+    if (args.size() > 1) csv_path = args[1];
+  } catch (const std::exception&) {
+    std::cerr << "usage: bench_table1 [networks] [csv_path] [--discrete] [--threads N]\n";
+    return 2;
+  }
+
+  // The paper's workload, shared by every row; rows vary alpha + opts.
+  api::scenario_spec base = api::get_scenario("paper_table1");
+  base.cbtc.mode = mode;
+  base.metrics = {.stretch = false, .interference = false, .robustness = false};
 
   const double a56 = algo::alpha_five_pi_six;
   const double a23 = algo::alpha_two_pi_three;
@@ -74,7 +83,7 @@ int main(int argc, char** argv) {
   const opt all = opt::all();
 
   // Paper values from Table 1 (degree, radius).
-  std::vector<config> configs{
+  std::vector<row_config> configs{
       {"basic a=5pi/6", 12.3, 436.8, a56, none},
       {"basic a=2pi/3", 15.4, 457.4, a23, none},
       {"op1 a=5pi/6", 10.3, 373.7, a56, op1},
@@ -88,32 +97,27 @@ int main(int argc, char** argv) {
   configs.push_back({"basic+op2 a=2pi/3 (text)", -1.0, 301.2, a23,
                      opt{.asymmetric_removal = true}});
 
-  std::vector<cell> cells(configs.size());
+  const api::engine eng;
+  const api::seed_range seeds{0, networks};
+  std::vector<api::batch_report> cells;
+  cells.reserve(configs.size());
   std::size_t connectivity_failures = 0;
 
-  for (std::size_t net = 0; net < w.networks; ++net) {
-    const std::vector<geom::vec2> positions = exp::network_positions(w, net);
-    const auto gr = graph::build_max_power_graph(positions, w.max_range);
-
-    for (std::size_t c = 0; c < configs.size(); ++c) {
-      const config& cfg = configs[c];
-      if (cfg.alpha == 0.0) {  // max power: nominal radius R, as in the paper
-        cells[c].degree.add(graph::average_degree(gr));
-        cells[c].radius.add(w.max_range);
-        continue;
-      }
-      algo::cbtc_params params;
-      params.alpha = cfg.alpha;
-      params.mode = mode;
-      const algo::topology_result t = algo::build_topology(positions, pm, params, cfg.opts);
-      cells[c].degree.add(graph::average_degree(t.topology));
-      cells[c].radius.add(graph::average_radius(t.topology, positions, w.max_range));
-      if (!graph::same_connectivity(t.topology, gr)) ++connectivity_failures;
+  for (const row_config& cfg : configs) {
+    api::scenario_spec spec = base;
+    if (cfg.alpha == 0.0) {  // max power: nominal radius R, as in the paper
+      spec.method = api::method_spec::of_baseline(api::baseline_kind::max_power);
+    } else {
+      spec.cbtc.alpha = cfg.alpha;
+      spec.opts = cfg.opts;
     }
+    cells.push_back(eng.run_batch(spec, seeds, threads));
+    connectivity_failures += cells.back().connectivity_failures;
   }
 
-  std::cout << "Table 1 reproduction: " << w.networks << " networks x " << w.nodes
-            << " nodes, region " << w.region_side << "^2, R = " << w.max_range << ", growth: "
+  std::cout << "Table 1 reproduction: " << networks << " networks x " << base.deploy.nodes
+            << " nodes, region " << base.deploy.region_side << "^2, R = " << base.radio.max_range
+            << ", growth: "
             << (mode == algo::growth_mode::continuous ? "continuous (paper-matching)"
                                                       : "discrete Increase(p)=2p")
             << "\n(paper values from Li et al., PODC 2001, Table 1)\n\n";

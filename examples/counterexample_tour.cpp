@@ -6,32 +6,51 @@
 //   * Figure 5 (Theorem 2.4): why 5*pi/6 is tight — an 8-node network,
 //     connected under max power, that CBTC(5*pi/6 + eps) disconnects.
 //
+// Both gadgets run through the cbtc::api engine as fixed-position
+// scenarios; the run_report's growth outcome exposes the per-node
+// neighbor sets the arguments are about.
+//
 //   $ ./counterexample_tour
 #include <iostream>
 
 #include "algo/gadgets.h"
-#include "algo/oracle.h"
+#include "api/api.h"
 #include "geom/angle.h"
-#include "graph/euclidean.h"
 #include "graph/graph_io.h"
 #include "graph/traversal.h"
-#include "radio/power_model.h"
+
+namespace {
+
+using namespace cbtc;
+
+/// A gadget as a scenario: fixed positions, continuous growth (the
+/// analytic constructions assume idealized power growth), no
+/// optimizations, no batch metrics.
+api::scenario_spec gadget_spec(std::vector<geom::vec2> positions, double alpha,
+                               double max_range) {
+  api::scenario_spec spec;
+  spec.deploy = api::deployment_spec::fixed_positions(std::move(positions));
+  spec.radio.max_range = max_range;
+  spec.cbtc.alpha = alpha;
+  spec.cbtc.mode = algo::growth_mode::continuous;
+  spec.metrics = {.stretch = false, .interference = false, .robustness = false};
+  return spec;
+}
+
+}  // namespace
 
 int main() {
-  using namespace cbtc;
   using algo::gadgets::example21;
   using algo::gadgets::figure5;
 
+  const api::engine eng;
+
   std::cout << "=== Example 2.1: N_alpha is not symmetric ===\n\n";
   const example21 ex = algo::gadgets::make_example21(algo::alpha_five_pi_six);
-  const radio::power_model pm(2.0, ex.max_range);
-  algo::cbtc_params params;
-  params.alpha = ex.alpha;
-  params.mode = algo::growth_mode::continuous;
+  const api::run_report r21 = eng.run(gadget_spec(ex.positions, ex.alpha, ex.max_range));
 
-  const algo::cbtc_result r = run_cbtc(ex.positions, pm, params);
-  auto describe = [&](graph::node_id id, const char* name) {
-    const auto& n = r.nodes[id];
+  auto describe = [&r21](graph::node_id id, const char* name) {
+    const auto& n = r21.growth.nodes[id];
     std::cout << "  " << name << " discovered {";
     for (std::size_t i = 0; i < n.neighbors.size(); ++i) {
       std::cout << (i ? ", " : "") << n.neighbors[i].id;
@@ -46,41 +65,44 @@ int main() {
             << "  covered by u1, u2, u3 at lower power, so (u0,v) is not in N_alpha while\n"
             << "  (v,u0) is — v hears u0 only because v grew all the way to max power.\n"
             << "  Taking the symmetric closure restores the edge: "
-            << (r.symmetric_closure().has_edge(example21::u0, example21::v) ? "yes" : "no")
+            << (r21.topology.has_edge(example21::u0, example21::v) ? "yes" : "no")
             << "\n  The symmetric *core* (op2) would drop it -> disconnection, which is\n"
             << "  why asymmetric edge removal demands alpha <= 2*pi/3.\n\n";
 
   std::cout << "=== Figure 5: alpha = 5*pi/6 is tight ===\n\n";
   const double eps = 0.1;
   const figure5 fig = algo::gadgets::make_figure5(eps);
-  const radio::power_model pm5(2.0, fig.max_range);
-  const auto gr = graph::build_max_power_graph(fig.positions, fig.max_range);
-  std::cout << "  8 nodes, two clusters; the only inter-cluster G_R edge is (u0, v0).\n"
-            << "  G_R connected: " << (graph::is_connected(gr) ? "yes" : "no") << "\n\n";
 
-  algo::cbtc_params above;
-  above.alpha = fig.alpha;  // 5*pi/6 + eps
-  above.mode = algo::growth_mode::continuous;
-  const auto r_above = run_cbtc(fig.positions, pm5, above);
-  const auto g_above = r_above.symmetric_closure();
-  std::cout << "  CBTC(5*pi/6 + " << eps << "):\n"
-            << "    u0 stops at power " << r_above.nodes[figure5::u0].final_power << " < P = "
-            << pm5.max_power() << " — its satellites close every cone of degree alpha,\n"
-            << "    so it never discovers v0. Same for v0 by symmetry.\n"
-            << "    u0 connected to v0 in G_alpha: "
-            << (graph::reachable(g_above, figure5::u0, figure5::v0) ? "yes" : "NO — disconnected!")
+  api::scenario_spec gr_spec = gadget_spec(fig.positions, fig.alpha, fig.max_range);
+  gr_spec.method = api::method_spec::of_baseline(api::baseline_kind::max_power);
+  const api::run_report r_gr = eng.run(gr_spec);
+
+  api::scenario_spec above = gadget_spec(fig.positions, fig.alpha, fig.max_range);
+  const api::run_report r_above = eng.run(above);
+  std::cout << "  8 nodes, two clusters; the only inter-cluster G_R edge is (u0, v0).\n"
+            << "  G_R connected: " << (graph::is_connected(r_gr.topology) ? "yes" : "no")
             << "\n\n";
 
-  algo::cbtc_params at;
-  at.alpha = algo::alpha_five_pi_six;
-  at.mode = algo::growth_mode::continuous;
-  const auto g_at = run_cbtc(fig.positions, pm5, at).symmetric_closure();
+  std::cout << "  CBTC(5*pi/6 + " << eps << "):\n"
+            << "    u0 stops at power " << r_above.growth.nodes[figure5::u0].final_power
+            << " < P = " << above.power().max_power()
+            << " — its satellites close every cone of degree alpha,\n"
+            << "    so it never discovers v0. Same for v0 by symmetry.\n"
+            << "    u0 connected to v0 in G_alpha: "
+            << (graph::reachable(r_above.topology, figure5::u0, figure5::v0)
+                    ? "yes"
+                    : "NO — disconnected!")
+            << "\n\n";
+
+  api::scenario_spec at = gadget_spec(fig.positions, algo::alpha_five_pi_six, fig.max_range);
+  const api::run_report r_at = eng.run(at);
   std::cout << "  CBTC(5*pi/6) on the same layout:\n"
             << "    now the u1-u2 gap (5*pi/6 + eps wide) exceeds alpha, u0 keeps growing,\n"
             << "    reaches v0, and connectivity survives: "
-            << (graph::reachable(g_at, figure5::u0, figure5::v0) ? "yes" : "no") << "\n\n";
+            << (graph::reachable(r_at.topology, figure5::u0, figure5::v0) ? "yes" : "no")
+            << "\n\n";
 
-  graph::save_svg("figure5_gadget.svg", gr, fig.positions,
+  graph::save_svg("figure5_gadget.svg", r_gr.topology, fig.positions,
                   {{-600.0, -600.0}, {1100.0, 600.0}},
                   {.node_labels = true, .title = "Figure 5 gadget (G_R)"});
   std::cout << "wrote figure5_gadget.svg (the max-power graph of the gadget)\n";

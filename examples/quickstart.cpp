@@ -3,21 +3,16 @@
 //
 //   $ ./quickstart [nodes] [seed]
 //
-// This is the five-minute tour of the public API:
-//   1. place nodes,
-//   2. choose a radio power model,
-//   3. build the topology (growth + optimizations),
-//   4. check the paper's guarantees,
-//   5. export an SVG you can open in a browser.
+// This is the five-minute tour of the cbtc::api façade:
+//   1. describe the scenario (deployment, radio, method, parameters),
+//   2. run it through the engine,
+//   3. read the unified report (metrics + the paper's guarantees),
+//   4. export an SVG you can open in a browser.
 #include <iostream>
 #include <string>
 
-#include "algo/analysis.h"
-#include "algo/pipeline.h"
-#include "geom/random_points.h"
-#include "graph/euclidean.h"
+#include "api/api.h"
 #include "graph/graph_io.h"
-#include "graph/metrics.h"
 
 int main(int argc, char** argv) {
   using namespace cbtc;
@@ -25,45 +20,43 @@ int main(int argc, char** argv) {
   const std::size_t nodes = argc > 1 ? std::stoul(argv[1]) : 100;
   const std::uint64_t seed = argc > 2 ? std::stoull(argv[2]) : 1;
 
-  // 1. One hundred nodes, uniform in a 1500 x 1500 field (the paper's
-  //    evaluation setup).
-  const geom::bbox region = geom::bbox::rect(1500.0, 1500.0);
-  const std::vector<geom::vec2> positions = geom::uniform_points(nodes, region, seed);
+  // 1. The scenario: `nodes` nodes uniform in a 1500 x 1500 field (the
+  //    paper's evaluation setup), radio p(d) = d^2 with max range 500,
+  //    CBTC(alpha = 5*pi/6) + all optimizations. (Asymmetric removal is
+  //    requested too; the engine skips it automatically because it
+  //    requires alpha <= 2*pi/3.)
+  api::scenario_spec spec;
+  spec.deploy = {.kind = api::deployment_kind::uniform, .nodes = nodes, .region_side = 1500.0};
+  spec.radio = {.path_loss_exponent = 2.0, .max_range = 500.0};
+  spec.opts = algo::optimization_set::all();
+  spec.base_seed = seed;
 
-  // 2. Radio: power p(d) = d^2, maximum range R = 500 (so max power
-  //    P = p(500)).
-  const radio::power_model radio(2.0, 500.0);
+  // 2. Run it.
+  const api::engine eng;
+  const api::run_report r = eng.run(spec);
 
-  // 3. CBTC(alpha = 5*pi/6) + shrink-back + pairwise edge removal.
-  //    (Asymmetric removal is requested too; the pipeline skips it
-  //    automatically because it requires alpha <= 2*pi/3.)
-  algo::cbtc_params params;  // defaults: alpha = 5*pi/6, Increase(p) = 2p
-  const algo::topology_result result =
-      algo::build_topology(positions, radio, params, algo::optimization_set::all());
+  // 3. One report: metrics plus the guarantees from the paper, checked
+  //    at runtime.
+  std::cout << "nodes:                  " << r.nodes << "\n"
+            << "G_R edges (max power):  " << r.max_power_edges << "\n"
+            << "topology edges:         " << r.edges << "\n"
+            << "avg degree:             " << r.avg_degree << "\n"
+            << "avg radius:             " << r.avg_radius << " (max power: "
+            << spec.radio.max_range << ")\n"
+            << "redundant edges removed: " << r.removed_edges << "\n"
+            << "boundary nodes:         " << r.boundary_nodes << "\n"
+            << "connectivity preserved: "
+            << (r.invariants.connectivity_preserved ? "yes" : "NO") << "\n"
+            << "subgraph of G_R:        " << (r.invariants.subgraph_of_max_power ? "yes" : "NO")
+            << "\n"
+            << "all radii <= R:         " << (r.invariants.radii_within_max_range ? "yes" : "NO")
+            << "\n";
 
-  // 4. The guarantees from the paper, checked at runtime.
-  const algo::invariant_report report =
-      algo::check_invariants(result.topology, positions, radio.max_range());
-
-  const auto gr = graph::build_max_power_graph(positions, radio.max_range());
-  std::cout << "nodes:                  " << nodes << "\n"
-            << "G_R edges (max power):  " << gr.num_edges() << "\n"
-            << "topology edges:         " << result.topology.num_edges() << "\n"
-            << "avg degree:             " << graph::average_degree(result.topology) << " (G_R: "
-            << graph::average_degree(gr) << ")\n"
-            << "avg radius:             "
-            << graph::average_radius(result.topology, positions, radio.max_range())
-            << " (max power: " << radio.max_range() << ")\n"
-            << "redundant edges removed: " << result.removed_edges << "\n"
-            << "boundary nodes:         " << result.growth.boundary_count() << "\n"
-            << "connectivity preserved: " << (report.connectivity_preserved ? "yes" : "NO") << "\n"
-            << "subgraph of G_R:        " << (report.subgraph_of_max_power ? "yes" : "NO") << "\n"
-            << "all radii <= R:         " << (report.radii_within_max_range ? "yes" : "NO") << "\n";
-
-  // 5. Visualize.
+  // 4. Visualize.
   graph::svg_style style;
   style.title = "CBTC(5pi/6), all optimizations";
-  graph::save_svg("quickstart_topology.svg", result.topology, positions, region, style);
+  graph::save_svg("quickstart_topology.svg", r.topology, spec.make_positions(0), spec.region(),
+                  style);
   std::cout << "wrote quickstart_topology.svg\n";
-  return report.ok() ? 0 : 1;
+  return r.invariants.ok() ? 0 : 1;
 }

@@ -2,11 +2,10 @@
 
 namespace cbtc::algo {
 
-topology_result build_topology(std::span<const geom::vec2> positions,
-                               const radio::power_model& power, const cbtc_params& params,
-                               const optimization_set& opts) {
+topology_result apply_optimizations(cbtc_result grown, std::span<const geom::vec2> positions,
+                                    const optimization_set& opts) {
   topology_result out;
-  cbtc_result grown = run_cbtc(positions, power, params);
+  const cbtc_params params = grown.params;
   out.growth = opts.shrink_back ? apply_shrink_back(grown) : std::move(grown);
 
   out.asymmetric_applied = opts.asymmetric_removal && asymmetric_removal_applicable(params.alpha);
@@ -20,6 +19,12 @@ topology_result build_topology(std::span<const geom::vec2> positions,
     out.removed_edges = pr.removed_edges;
   }
   return out;
+}
+
+topology_result build_topology(std::span<const geom::vec2> positions,
+                               const radio::power_model& power, const cbtc_params& params,
+                               const optimization_set& opts) {
+  return apply_optimizations(run_cbtc(positions, power, params), positions, opts);
 }
 
 }  // namespace cbtc::algo

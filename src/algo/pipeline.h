@@ -45,7 +45,16 @@ struct topology_result {
   std::size_t removed_edges{0};
 };
 
+/// Applies the selected optimizations to an already-grown CBTC outcome
+/// (from the centralized oracle or the distributed protocol) and builds
+/// the final symmetric topology. `grown.params` decides whether the
+/// asymmetric removal is applicable.
+[[nodiscard]] topology_result apply_optimizations(cbtc_result grown,
+                                                  std::span<const geom::vec2> positions,
+                                                  const optimization_set& opts = {});
+
 /// Runs CBTC(alpha) and the selected optimizations over `positions`.
+/// Equivalent to apply_optimizations(run_cbtc(...), positions, opts).
 [[nodiscard]] topology_result build_topology(std::span<const geom::vec2> positions,
                                              const radio::power_model& power,
                                              const cbtc_params& params,

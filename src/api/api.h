@@ -1,0 +1,17 @@
+// cbtc::api — the library's single front door.
+//
+//   #include "api/api.h"
+//
+//   cbtc::api::engine eng;
+//   auto spec  = cbtc::api::get_scenario("paper_table1");
+//   auto one   = eng.run(spec);                        // one instance
+//   auto batch = eng.run_batch(spec, {0, 100}, 4);     // 100 seeds, 4 threads
+//
+// See scenario.h (what to run), report.h (what you get back),
+// engine.h (how it runs), registry.h (canonical workloads).
+#pragma once
+
+#include "api/engine.h"    // IWYU pragma: export
+#include "api/registry.h"  // IWYU pragma: export
+#include "api/report.h"    // IWYU pragma: export
+#include "api/scenario.h"  // IWYU pragma: export

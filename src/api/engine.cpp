@@ -1,0 +1,210 @@
+#include "api/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "algo/augment.h"
+#include "baselines/baselines.h"
+#include "graph/euclidean.h"
+#include "graph/interference.h"
+#include "graph/metrics.h"
+#include "graph/robustness.h"
+
+namespace cbtc::api {
+namespace {
+
+graph::undirected_graph build_baseline(const method_spec& m,
+                                       std::span<const geom::vec2> positions, double max_range,
+                                       const graph::undirected_graph& max_power_graph) {
+  switch (m.baseline) {
+    case baseline_kind::euclidean_mst:
+      return baselines::euclidean_mst(positions, max_range);
+    case baseline_kind::relative_neighborhood:
+      return baselines::relative_neighborhood_graph(positions, max_range);
+    case baseline_kind::gabriel:
+      return baselines::gabriel_graph(positions, max_range);
+    case baseline_kind::yao:
+      return baselines::yao_graph(positions, max_range, m.yao_cones);
+    case baseline_kind::knn:
+      return baselines::knn_graph(positions, max_range, m.knn_k);
+    case baseline_kind::max_power:
+      return max_power_graph;
+  }
+  throw std::logic_error("engine: unknown baseline kind");
+}
+
+}  // namespace
+
+run_report engine::run(const scenario_spec& spec, std::uint64_t seed) const {
+  const std::vector<geom::vec2> positions = spec.make_positions(seed);
+  const radio::power_model pm = spec.power();
+  const double R = pm.max_range();
+
+  run_report r;
+  r.seed = seed;
+  r.nodes = positions.size();
+
+  const graph::undirected_graph gr = graph::build_max_power_graph(positions, R);
+  r.max_power_edges = gr.num_edges();
+
+  const auto adopt = [&r](algo::topology_result t) {
+    r.growth = std::move(t.growth);
+    r.has_growth = true;
+    r.topology = std::move(t.topology);
+    r.redundant_edges = t.redundant_edges;
+    r.removed_edges = t.removed_edges;
+  };
+  switch (spec.method.k) {
+    case method_spec::kind::oracle:
+      adopt(algo::build_topology(positions, pm, spec.cbtc, spec.opts));
+      break;
+    case method_spec::kind::protocol: {
+      proto::protocol_run_config cfg = spec.protocol;
+      cfg.agent.params = spec.cbtc;
+      // The distributed agents implement the deployable Increase(p)
+      // schedule only; record that in the outcome's params instead of
+      // silently carrying a continuous-mode request through.
+      cfg.agent.params.mode = algo::growth_mode::discrete;
+      cfg.seed = spec.base_seed + seed;
+      cfg.send_drop_notices =
+          spec.opts.asymmetric_removal && algo::asymmetric_removal_applicable(spec.cbtc.alpha);
+      proto::protocol_run_result pr = proto::run_protocol(positions, pm, cfg);
+      r.has_protocol_stats = true;
+      r.protocol_stats = pr.stats;
+      r.completion_time = pr.completion_time;
+      adopt(algo::apply_optimizations(std::move(pr.outcome), positions, spec.opts));
+      break;
+    }
+    case method_spec::kind::baseline:
+      r.topology = build_baseline(spec.method, positions, R, gr);
+      break;
+  }
+  if (r.has_growth) r.boundary_nodes = r.growth.boundary_count();
+
+  if (spec.post.bridge_augmentation) {
+    r.topology = algo::augment_bridge_resilience(r.topology, positions, R).topology;
+  }
+
+  r.edges = r.topology.num_edges();
+  r.avg_degree = graph::average_degree(r.topology);
+
+  const bool nominal_max_power = spec.method.k == method_spec::kind::baseline &&
+                                 spec.method.baseline == baseline_kind::max_power;
+  r.node_powers.resize(r.nodes);
+  if (nominal_max_power) {
+    // No topology control: every node transmits at maximum power, so
+    // the radius is nominally R (the paper's Table 1 convention).
+    std::fill(r.node_powers.begin(), r.node_powers.end(), pm.max_power());
+    r.avg_radius = r.nodes == 0 ? 0.0 : R;
+    r.max_radius = r.nodes == 0 ? 0.0 : R;
+  } else {
+    double radius_sum = 0.0;
+    for (std::size_t u = 0; u < r.nodes; ++u) {
+      const double rad = graph::node_radius(r.topology, positions, u, R);
+      r.node_powers[u] = pm.required_power(rad);
+      radius_sum += rad;
+      r.max_radius = std::max(r.max_radius, rad);
+    }
+    r.avg_radius = r.nodes == 0 ? 0.0 : radius_sum / static_cast<double>(r.nodes);
+  }
+  double power_sum = 0.0;
+  for (const double p : r.node_powers) power_sum += p;
+  r.avg_power = r.nodes == 0 ? 0.0 : power_sum / static_cast<double>(r.nodes);
+
+  r.invariants = algo::check_invariants(r.topology, positions, R);
+
+  if (spec.metrics.stretch) {
+    r.power_stretch =
+        graph::power_stretch(r.topology, gr, positions, pm.exponent(), spec.metrics.stretch_samples)
+            .mean;
+    r.hop_stretch = graph::hop_stretch(r.topology, gr, spec.metrics.stretch_samples).mean;
+  }
+  if (spec.metrics.interference) {
+    const graph::interference_stats s = graph::topology_interference(r.topology, positions);
+    r.interference_mean = s.mean;
+    r.interference_max = s.max;
+  }
+  if (spec.metrics.robustness) {
+    r.cut_vertices = graph::articulation_points(r.topology).size();
+  }
+  return r;
+}
+
+std::vector<run_report> engine::run_all(const scenario_spec& spec, seed_range seeds,
+                                        unsigned num_threads) const {
+  const std::size_t n = static_cast<std::size_t>(seeds.count);
+  std::vector<run_report> reports(n);
+  if (n == 0) return reports;
+
+  unsigned threads = num_threads != 0 ? num_threads : std::thread::hardware_concurrency();
+  threads = std::clamp<unsigned>(threads, 1, static_cast<unsigned>(n));
+  if (threads == 1) {
+    for (std::size_t i = 0; i < n; ++i) reports[i] = run(spec, seeds.first + i);
+    return reports;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        reports[i] = run(spec, seeds.first + i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        next.store(n, std::memory_order_relaxed);  // stop handing out work
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+  return reports;
+}
+
+batch_report engine::run_batch(const scenario_spec& spec, seed_range seeds,
+                               unsigned num_threads) const {
+  const std::vector<run_report> reports = run_all(spec, seeds, num_threads);
+  return reduce(reports);
+}
+
+batch_report reduce(std::span<const run_report> reports) {
+  batch_report b;
+  for (const run_report& r : reports) {
+    ++b.runs;
+    if (!r.connectivity_preserved()) ++b.connectivity_failures;
+    b.edges.add(static_cast<double>(r.edges));
+    b.degree.add(r.avg_degree);
+    b.radius.add(r.avg_radius);
+    b.max_radius.add(r.max_radius);
+    b.tx_power.add(r.avg_power);
+    b.boundary.add(static_cast<double>(r.boundary_nodes));
+    b.power_stretch.add(r.power_stretch);
+    b.hop_stretch.add(r.hop_stretch);
+    b.interference.add(r.interference_mean);
+    b.cut_vertices.add(static_cast<double>(r.cut_vertices));
+    b.removed_edges.add(static_cast<double>(r.removed_edges));
+    if (r.has_protocol_stats) {
+      b.has_protocol_stats = true;
+      b.messages.add(
+          static_cast<double>(r.protocol_stats.broadcasts + r.protocol_stats.unicasts));
+      b.deliveries.add(static_cast<double>(r.protocol_stats.deliveries));
+      b.tx_energy.add(r.protocol_stats.tx_energy);
+      b.completion_time.add(r.completion_time);
+    }
+  }
+  return b;
+}
+
+}  // namespace cbtc::api

@@ -1,0 +1,41 @@
+// The execution engine of the cbtc::api façade.
+//
+// `engine::run` executes one scenario instance end to end: deploy
+// nodes, run the selected method (centralized oracle, distributed
+// protocol on the event simulator, or a position-based baseline),
+// apply the optimizations, and measure every requested metric.
+//
+// `engine::run_batch` fans a seed range across a thread pool (each
+// instance is an independent, pure computation) and reduces the
+// per-seed reports in seed order, so the aggregate statistics are
+// bitwise identical regardless of `num_threads`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "api/report.h"
+#include "api/scenario.h"
+
+namespace cbtc::api {
+
+class engine {
+ public:
+  /// Runs instance `seed` of the scenario.
+  [[nodiscard]] run_report run(const scenario_spec& spec, std::uint64_t seed) const;
+
+  /// Runs the scenario's canonical instance (seed 0).
+  [[nodiscard]] run_report run(const scenario_spec& spec) const { return run(spec, 0); }
+
+  /// Runs every seed in `seeds` and returns the reports in seed order.
+  /// `num_threads` == 0 picks the hardware concurrency. Results do not
+  /// depend on the thread count.
+  [[nodiscard]] std::vector<run_report> run_all(const scenario_spec& spec, seed_range seeds,
+                                                unsigned num_threads = 0) const;
+
+  /// run_all + deterministic reduction into aggregate statistics.
+  [[nodiscard]] batch_report run_batch(const scenario_spec& spec, seed_range seeds,
+                                       unsigned num_threads = 0) const;
+};
+
+}  // namespace cbtc::api

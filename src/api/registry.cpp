@@ -1,0 +1,125 @@
+#include "api/registry.h"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace cbtc::api {
+namespace {
+
+scenario_spec named(std::string name) {
+  scenario_spec s;
+  s.name = std::move(name);
+  return s;
+}
+
+/// The paper's Section 5 workload: 100 nodes uniform in 1500 x 1500,
+/// R = 500, p(d) = d^2, continuous (paper-matching) growth.
+scenario_spec paper_base(std::string name) {
+  scenario_spec s = named(std::move(name));
+  s.deploy = {.kind = deployment_kind::uniform, .nodes = 100, .region_side = 1500.0};
+  s.radio = {.path_loss_exponent = 2.0, .max_range = 500.0};
+  s.cbtc.mode = algo::growth_mode::continuous;
+  return s;
+}
+
+std::map<std::string, scenario_spec, std::less<>> built_ins() {
+  std::map<std::string, scenario_spec, std::less<>> reg;
+  const auto put = [&reg](scenario_spec s) { reg.insert_or_assign(s.name, std::move(s)); };
+
+  {
+    scenario_spec s = paper_base("paper_table1");
+    s.opts = algo::optimization_set::all();
+    put(std::move(s));
+  }
+  put(paper_base("paper_basic"));
+  {
+    scenario_spec s = paper_base("figure6");
+    s.opts = algo::optimization_set::all();
+    // Figure 6 is a single network; run(spec) uses its seed-0 instance.
+    s.metrics.stretch = false;
+    put(std::move(s));
+  }
+  {
+    scenario_spec s = paper_base("paper_protocol");
+    s.method = method_spec::protocol();
+    s.cbtc.mode = algo::growth_mode::discrete;  // what agents actually run
+    s.opts = {.shrink_back = true, .pairwise_removal = true};
+    s.protocol.agent.round_timeout = 0.5;
+    s.protocol.channel.base_delay = 0.01;  // reliable, low-latency channel
+    put(std::move(s));
+  }
+  {
+    scenario_spec s = named("dense_sensor_field");
+    s.deploy = {.kind = deployment_kind::cluster,
+                .nodes = 200,
+                .region_side = 1500.0,
+                .clusters = 5,
+                .cluster_sigma = 150.0};
+    s.cbtc.mode = algo::growth_mode::continuous;
+    s.opts = algo::optimization_set::all();
+    put(std::move(s));
+  }
+  {
+    scenario_spec s = named("sparse_adhoc");
+    s.deploy = {.kind = deployment_kind::uniform, .nodes = 60, .region_side = 2000.0};
+    s.cbtc.mode = algo::growth_mode::continuous;
+    s.opts = algo::optimization_set::all();
+    put(std::move(s));
+  }
+  {
+    scenario_spec s = named("grid_mesh");
+    s.deploy = {.kind = deployment_kind::grid,
+                .nodes = 144,
+                .region_side = 1800.0,
+                .grid_jitter = 0.3};
+    s.cbtc.mode = algo::growth_mode::continuous;
+    s.opts = algo::optimization_set::all();
+    put(std::move(s));
+  }
+  return reg;
+}
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, scenario_spec, std::less<>>& registry() {
+  static std::map<std::string, scenario_spec, std::less<>> reg = built_ins();
+  return reg;
+}
+
+}  // namespace
+
+void register_scenario(scenario_spec spec) {
+  if (spec.name.empty()) {
+    throw std::invalid_argument("register_scenario: scenario name must not be empty");
+  }
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().insert_or_assign(spec.name, std::move(spec));
+}
+
+std::optional<scenario_spec> find_scenario(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto& reg = registry();
+  const auto it = reg.find(name);
+  if (it == reg.end()) return std::nullopt;
+  return it->second;
+}
+
+scenario_spec get_scenario(std::string_view name) {
+  if (auto s = find_scenario(name)) return *std::move(s);
+  throw std::out_of_range("unknown scenario: " + std::string(name));
+}
+
+std::vector<std::string> scenario_names() {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, spec] : registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace cbtc::api

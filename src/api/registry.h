@@ -1,0 +1,42 @@
+// Named-scenario registry: canonical workloads, one registration away.
+//
+// Built-in names (see registry.cpp for the exact parameters):
+//   paper_table1       — the paper's Section 5 workload, all
+//                        optimizations, alpha = 5*pi/6 (Table 1's
+//                        headline configuration)
+//   paper_basic        — same workload, no optimizations
+//   paper_protocol     — same workload run by the distributed protocol
+//                        on the event simulator (reliable channel)
+//   figure6            — the single 100-node network of Figure 6
+//   dense_sensor_field — 200 clustered sensors in a 1500^2 field
+//   sparse_adhoc       — 60 nodes thin in a 2000^2 region (boundary-
+//                        node heavy)
+//   grid_mesh          — 144 nodes on a jittered grid (planned mesh)
+//
+// New workloads register at runtime with `register_scenario`; names are
+// unique and registration overwrites.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/scenario.h"
+
+namespace cbtc::api {
+
+/// Registers (or replaces) `spec` under `spec.name`.
+/// Throws std::invalid_argument if the name is empty.
+void register_scenario(scenario_spec spec);
+
+/// Looks a scenario up by name; nullopt when unknown.
+[[nodiscard]] std::optional<scenario_spec> find_scenario(std::string_view name);
+
+/// Like find_scenario but throws std::out_of_range for unknown names.
+[[nodiscard]] scenario_spec get_scenario(std::string_view name);
+
+/// All registered names, sorted.
+[[nodiscard]] std::vector<std::string> scenario_names();
+
+}  // namespace cbtc::api

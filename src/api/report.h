@@ -1,0 +1,105 @@
+// Unified results for the cbtc::api façade.
+//
+// `run_report` is everything one scenario instance produced: the final
+// topology, per-node transmit powers, the growth outcome (for CBTC
+// methods), the paper's metrics (degree / radius / power / stretch /
+// interference), invariant checks, and protocol costs when the
+// distributed method ran.
+//
+// `batch_report` reduces many run_reports into exp::summary aggregates.
+// The reduction is sequential in seed order, so it is bitwise
+// deterministic no matter how many threads produced the runs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "algo/analysis.h"
+#include "algo/oracle.h"
+#include "exp/stats.h"
+#include "graph/graph.h"
+#include "sim/medium.h"
+
+namespace cbtc::api {
+
+/// Outcome and metrics of one scenario instance.
+struct run_report {
+  std::uint64_t seed{0};
+  std::size_t nodes{0};
+
+  /// The final (symmetric) topology.
+  graph::undirected_graph topology;
+  /// Per-node transmit power p(rad_u) needed to sustain `topology`
+  /// (nominal P for the max-power baseline; isolated nodes pay p(R)).
+  std::vector<double> node_powers;
+
+  /// Growth outcome (after shrink-back); populated for the oracle and
+  /// protocol methods only — check `has_growth`.
+  algo::cbtc_result growth;
+  bool has_growth{false};
+
+  // -- metrics (always computed) ------------------------------------
+  std::size_t edges{0};
+  std::size_t max_power_edges{0};  ///< edges of G_R, for sparsity context
+  double avg_degree{0.0};
+  double avg_radius{0.0};
+  double max_radius{0.0};
+  double avg_power{0.0};
+  std::size_t boundary_nodes{0};    ///< CBTC methods only (0 otherwise)
+  std::size_t redundant_edges{0};   ///< classified by pairwise removal
+  std::size_t removed_edges{0};     ///< actually removed by pairwise removal
+  algo::invariant_report invariants;
+
+  // -- optional metrics (see metric_options) ------------------------
+  double power_stretch{1.0};
+  double hop_stretch{1.0};
+  double interference_mean{0.0};
+  std::size_t interference_max{0};
+  std::size_t cut_vertices{0};
+
+  // -- protocol costs (method == protocol only) ---------------------
+  bool has_protocol_stats{false};
+  sim::medium_stats protocol_stats{};
+  double completion_time{0.0};
+
+  [[nodiscard]] bool connectivity_preserved() const {
+    return invariants.connectivity_preserved;
+  }
+};
+
+/// Aggregates over a batch of runs (one summary per scalar metric).
+struct batch_report {
+  std::size_t runs{0};
+  std::size_t connectivity_failures{0};
+
+  exp::summary edges;
+  exp::summary degree;
+  exp::summary radius;
+  exp::summary max_radius;
+  exp::summary tx_power;
+  exp::summary boundary;
+  exp::summary power_stretch;
+  exp::summary hop_stretch;
+  exp::summary interference;
+  exp::summary cut_vertices;
+  exp::summary removed_edges;
+
+  bool has_protocol_stats{false};
+  exp::summary messages;    ///< broadcasts + unicasts per run
+  exp::summary deliveries;
+  exp::summary tx_energy;
+  exp::summary completion_time;
+
+  [[nodiscard]] double preserved_fraction() const {
+    return runs == 0 ? 1.0
+                     : static_cast<double>(runs - connectivity_failures) /
+                           static_cast<double>(runs);
+  }
+};
+
+/// Reduces per-seed reports (in the order given — callers pass seed
+/// order for determinism) into aggregate statistics.
+[[nodiscard]] batch_report reduce(std::span<const run_report> reports);
+
+}  // namespace cbtc::api

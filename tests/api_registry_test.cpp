@@ -1,0 +1,67 @@
+// The named-scenario registry: built-ins resolve, registration is one
+// call, unknown names fail loudly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "api/api.h"
+
+namespace cbtc::api {
+namespace {
+
+TEST(ApiRegistry, BuiltInsArePresent) {
+  const auto names = scenario_names();
+  for (const char* expected : {"paper_table1", "paper_basic", "paper_protocol", "figure6",
+                               "dense_sensor_field", "sparse_adhoc", "grid_mesh"}) {
+    EXPECT_TRUE(std::find(names.begin(), names.end(), expected) != names.end())
+        << "missing built-in scenario: " << expected;
+  }
+}
+
+TEST(ApiRegistry, PaperTable1MatchesSection5Workload) {
+  const scenario_spec s = get_scenario("paper_table1");
+  EXPECT_EQ(s.deploy.kind, deployment_kind::uniform);
+  EXPECT_EQ(s.deploy.nodes, 100u);
+  EXPECT_DOUBLE_EQ(s.deploy.region_side, 1500.0);
+  EXPECT_DOUBLE_EQ(s.radio.max_range, 500.0);
+  EXPECT_DOUBLE_EQ(s.radio.path_loss_exponent, 2.0);
+  EXPECT_TRUE(s.opts.shrink_back);
+  EXPECT_TRUE(s.opts.pairwise_removal);
+  EXPECT_EQ(s.method.k, method_spec::kind::oracle);
+}
+
+TEST(ApiRegistry, UnknownNamesFail) {
+  EXPECT_FALSE(find_scenario("no_such_scenario").has_value());
+  EXPECT_THROW((void)get_scenario("no_such_scenario"), std::out_of_range);
+}
+
+TEST(ApiRegistry, RegistrationIsOneCall) {
+  scenario_spec s = get_scenario("paper_table1");
+  s.name = "registry_test_tiny";
+  s.deploy.nodes = 12;
+  register_scenario(s);
+
+  const auto found = find_scenario("registry_test_tiny");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->deploy.nodes, 12u);
+
+  // Registration overwrites.
+  s.deploy.nodes = 13;
+  register_scenario(s);
+  EXPECT_EQ(get_scenario("registry_test_tiny").deploy.nodes, 13u);
+}
+
+TEST(ApiRegistry, EmptyNameRejected) {
+  EXPECT_THROW(register_scenario(scenario_spec{}), std::invalid_argument);
+}
+
+TEST(ApiRegistry, MethodNamesRoundTrip) {
+  for (const char* name : {"oracle", "protocol", "mst", "rng", "gabriel", "yao", "knn",
+                           "max-power"}) {
+    EXPECT_EQ(method_name(parse_method(name)), name);
+  }
+  EXPECT_THROW((void)parse_method("carrier-pigeon"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cbtc::api

@@ -4,36 +4,38 @@
 //   cbtc build    --in nodes.csv --alpha 2.618 --all-opts --svg topo.svg
 //   cbtc analyze  --in nodes.csv
 //   cbtc compare  --in nodes.csv
+//   cbtc sweep    --scenario paper_table1 --seeds 100 --threads 4
 //
 // generate: write a random deployment as CSV (uniform | cluster | grid)
-// build:    run CBTC(alpha) (+ optimizations) and export the topology
+// build:    run one scenario through cbtc::api and export the topology
 // analyze:  per-instance alpha threshold scan + invariant checks
 // compare:  metrics table against the position-based baselines
+// sweep:    multi-seed batch of a (named) scenario, parallel engine
+#include <charconv>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "algo/alpha_search.h"
-#include "algo/analysis.h"
-#include "algo/pipeline.h"
-#include "baselines/baselines.h"
+#include "api/api.h"
 #include "exp/table.h"
 #include "geom/random_points.h"
-#include "graph/euclidean.h"
 #include "graph/graph_io.h"
-#include "graph/interference.h"
-#include "graph/metrics.h"
 #include "graph/position_io.h"
-#include "graph/robustness.h"
-#include "graph/traversal.h"
 
 namespace {
 
 using namespace cbtc;
+
+/// A bad command line: print the message, then usage, exit 2.
+struct usage_error : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct cli_args {
   std::string command;
@@ -44,9 +46,32 @@ struct cli_args {
     const auto it = options.find(key);
     return it == options.end() ? fallback : it->second;
   }
+  /// Numeric option; rejects anything that is not a full number instead
+  /// of letting std::stod throw a bare std::invalid_argument.
   [[nodiscard]] double num(const std::string& key, double fallback) const {
     const auto it = options.find(key);
-    return it == options.end() ? fallback : std::stod(it->second);
+    if (it == options.end()) return fallback;
+    const std::string& text = it->second;
+    double value = 0.0;
+    const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || end != text.data() + text.size()) {
+      throw usage_error("option --" + key + ": expected a number, got '" + text + "'");
+    }
+    return value;
+  }
+  /// Integer option parsed directly (no double round-trip, so 64-bit
+  /// seeds survive exactly).
+  [[nodiscard]] std::size_t count(const std::string& key, std::size_t fallback) const {
+    const auto it = options.find(key);
+    if (it == options.end()) return fallback;
+    const std::string& text = it->second;
+    std::uint64_t value = 0;
+    const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || end != text.data() + text.size()) {
+      throw usage_error("option --" + key + ": expected a non-negative integer, got '" + text +
+                        "'");
+    }
+    return static_cast<std::size_t>(value);
   }
   [[nodiscard]] bool has_flag(const std::string& f) const {
     return std::find(flags.begin(), flags.end(), f) != flags.end();
@@ -58,7 +83,9 @@ cli_args parse(int argc, char** argv) {
   if (argc > 1) args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
-    if (a.rfind("--", 0) != 0) continue;
+    if (a.rfind("--", 0) != 0) {
+      throw usage_error("unexpected argument: '" + a + "' (options start with --)");
+    }
     a = a.substr(2);
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       args.options[a] = argv[++i];
@@ -80,14 +107,18 @@ int usage() {
       "            [--all-opts | --shrink-back --asym --pairwise]\n"
       "            [--continuous] [--svg FILE] [--dot FILE] [--edges FILE]\n"
       "  analyze   --in FILE.csv [--range R] [--exponent N]\n"
-      "  compare   --in FILE.csv [--range R] [--exponent N]\n";
+      "  compare   --in FILE.csv [--range R] [--exponent N]\n"
+      "  sweep     --scenario NAME [--seeds N] [--first N] [--threads T]\n"
+      "            [--method oracle|protocol|mst|rng|gabriel|yao|knn|max-power]\n"
+      "            [--alpha RAD] [--nodes N] [--region S] [--range R]\n"
+      "  sweep     --list           (show registered scenarios)\n";
   return 2;
 }
 
 int cmd_generate(const cli_args& args) {
-  const auto nodes = static_cast<std::size_t>(args.num("nodes", 100));
+  const std::size_t nodes = args.count("nodes", 100);
   const double side = args.num("region", 1500.0);
-  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const auto seed = static_cast<std::uint64_t>(args.count("seed", 1));
   const std::string layout = args.get("layout", "uniform");
   const std::string out = args.get("out", "nodes.csv");
   const geom::bbox region = geom::bbox::rect(side, side);
@@ -96,90 +127,91 @@ int cmd_generate(const cli_args& args) {
   if (layout == "uniform") {
     positions = geom::uniform_points(nodes, region, seed);
   } else if (layout == "cluster") {
-    positions = geom::clustered_points(nodes, static_cast<std::size_t>(args.num("clusters", 5)),
+    positions = geom::clustered_points(nodes, args.count("clusters", 5),
                                        args.num("sigma", side / 10.0), region, seed);
   } else if (layout == "grid") {
     positions = geom::jittered_grid_points(nodes, args.num("jitter", 0.3), region, seed);
   } else {
-    std::cerr << "unknown layout: " << layout << "\n";
-    return 2;
+    throw usage_error("unknown layout: " + layout);
   }
   graph::save_positions_csv(out, positions);
   std::cout << "wrote " << positions.size() << " positions to " << out << "\n";
   return 0;
 }
 
-radio::power_model model_from(const cli_args& args) {
-  return radio::power_model(args.num("exponent", 2.0), args.num("range", 500.0));
+/// Scenario skeleton shared by the CSV-driven commands: fixed
+/// positions, radio from --range / --exponent.
+api::scenario_spec csv_spec(const cli_args& args) {
+  api::scenario_spec spec;
+  spec.deploy = api::deployment_spec::fixed_positions(
+      graph::load_positions_csv(args.get("in", "nodes.csv")));
+  spec.radio.max_range = args.num("range", 500.0);
+  spec.radio.path_loss_exponent = args.num("exponent", 2.0);
+  spec.metrics.stretch = false;  // build/compare/analyze never print stretch
+  return spec;
 }
 
 int cmd_build(const cli_args& args) {
-  const auto positions = graph::load_positions_csv(args.get("in", "nodes.csv"));
-  const radio::power_model pm = model_from(args);
-
-  algo::cbtc_params params;
-  params.alpha = args.num("alpha", algo::alpha_five_pi_six);
-  if (args.has_flag("continuous")) params.mode = algo::growth_mode::continuous;
-
-  algo::optimization_set opts;
+  api::scenario_spec spec = csv_spec(args);
+  spec.cbtc.alpha = args.num("alpha", algo::alpha_five_pi_six);
+  if (args.has_flag("continuous")) spec.cbtc.mode = algo::growth_mode::continuous;
   if (args.has_flag("all-opts")) {
-    opts = algo::optimization_set::all();
+    spec.opts = algo::optimization_set::all();
   } else {
-    opts.shrink_back = args.has_flag("shrink-back");
-    opts.asymmetric_removal = args.has_flag("asym");
-    opts.pairwise_removal = args.has_flag("pairwise");
+    spec.opts.shrink_back = args.has_flag("shrink-back");
+    spec.opts.asymmetric_removal = args.has_flag("asym");
+    spec.opts.pairwise_removal = args.has_flag("pairwise");
   }
 
-  const algo::topology_result result = algo::build_topology(positions, pm, params, opts);
-  const auto gr = graph::build_max_power_graph(positions, pm.max_range());
-  const auto report = algo::check_invariants(result.topology, positions, pm.max_range());
+  const api::engine eng;
+  const api::run_report report = eng.run(spec);
+
+  api::scenario_spec max_power = spec;
+  max_power.method = api::method_spec::of_baseline(api::baseline_kind::max_power);
+  const api::run_report reference = eng.run(max_power);
 
   exp::table t({"metric", "topology", "max power"});
-  t.add_row({"edges", std::to_string(result.topology.num_edges()), std::to_string(gr.num_edges())});
-  t.add_row({"avg degree", exp::table::num(graph::average_degree(result.topology)),
-             exp::table::num(graph::average_degree(gr))});
-  t.add_row({"avg radius",
-             exp::table::num(graph::average_radius(result.topology, positions, pm.max_range())),
-             exp::table::num(pm.max_range())});
-  t.add_row({"interference",
-             exp::table::num(graph::topology_interference(result.topology, positions).mean),
-             exp::table::num(graph::topology_interference(gr, positions).mean)});
-  t.add_row({"cut vertices", std::to_string(graph::articulation_points(result.topology).size()),
-             std::to_string(graph::articulation_points(gr).size())});
-  t.add_row({"connectivity preserved", report.connectivity_preserved ? "yes" : "NO", "-"});
+  t.add_row({"edges", std::to_string(report.edges), std::to_string(reference.edges)});
+  t.add_row({"avg degree", exp::table::num(report.avg_degree),
+             exp::table::num(reference.avg_degree)});
+  t.add_row({"avg radius", exp::table::num(report.avg_radius),
+             exp::table::num(reference.avg_radius)});
+  t.add_row({"interference", exp::table::num(report.interference_mean),
+             exp::table::num(reference.interference_mean)});
+  t.add_row({"cut vertices", std::to_string(report.cut_vertices),
+             std::to_string(reference.cut_vertices)});
+  t.add_row({"connectivity preserved",
+             report.invariants.connectivity_preserved ? "yes" : "NO", "-"});
   t.print(std::cout);
-  for (const std::string& v : report.violations) std::cout << "violation: " << v << "\n";
-
-  geom::bbox region{positions.front(), positions.front()};
-  for (const auto& p : positions) {
-    region.min.x = std::min(region.min.x, p.x);
-    region.min.y = std::min(region.min.y, p.y);
-    region.max.x = std::max(region.max.x, p.x);
-    region.max.y = std::max(region.max.y, p.y);
+  for (const std::string& v : report.invariants.violations) {
+    std::cout << "violation: " << v << "\n";
   }
+
+  const auto& positions = spec.deploy.fixed;
+  const geom::bbox region = spec.region();
   if (const std::string svg = args.get("svg", ""); !svg.empty()) {
-    graph::save_svg(svg, result.topology, positions, region, {.title = "CBTC topology"});
+    graph::save_svg(svg, report.topology, positions, region, {.title = "CBTC topology"});
     std::cout << "wrote " << svg << "\n";
   }
   if (const std::string dot = args.get("dot", ""); !dot.empty()) {
     std::ofstream f(dot);
-    graph::write_dot(f, result.topology, positions);
+    graph::write_dot(f, report.topology, positions);
     std::cout << "wrote " << dot << "\n";
   }
   if (const std::string edges = args.get("edges", ""); !edges.empty()) {
     std::ofstream f(edges);
-    graph::write_edge_csv(f, result.topology, positions);
+    graph::write_edge_csv(f, report.topology, positions);
     std::cout << "wrote " << edges << "\n";
   }
-  return report.ok() ? 0 : 1;
+  return report.invariants.ok() ? 0 : 1;
 }
 
 int cmd_analyze(const cli_args& args) {
-  const auto positions = graph::load_positions_csv(args.get("in", "nodes.csv"));
-  const radio::power_model pm = model_from(args);
+  const api::scenario_spec spec = csv_spec(args);
+  const auto& positions = spec.deploy.fixed;
+  const radio::power_model pm = spec.power();
 
-  const auto scan =
-      algo::scan_alpha(positions, pm, geom::pi / 3.0, 1.2 * geom::pi, 16);
+  const auto scan = algo::scan_alpha(positions, pm, geom::pi / 3.0, 1.2 * geom::pi, 16);
   exp::table t({"alpha/pi", "connectivity preserved"});
   for (const auto& s : scan.samples) {
     t.add_row({exp::table::num(s.alpha / geom::pi, 3), s.preserved ? "yes" : "no"});
@@ -195,44 +227,118 @@ int cmd_analyze(const cli_args& args) {
 }
 
 int cmd_compare(const cli_args& args) {
-  const auto positions = graph::load_positions_csv(args.get("in", "nodes.csv"));
-  const radio::power_model pm = model_from(args);
-  const double R = pm.max_range();
-  const auto gr = graph::build_max_power_graph(positions, R);
+  api::scenario_spec base = csv_spec(args);
+  base.cbtc.mode = algo::growth_mode::continuous;
+  base.opts = algo::optimization_set::all();
 
-  algo::cbtc_params params;
-  params.mode = algo::growth_mode::continuous;
-  const auto cbtc_topo =
-      algo::build_topology(positions, pm, params, algo::optimization_set::all()).topology;
-
-  const std::vector<std::pair<std::string, graph::undirected_graph>> rows{
-      {"CBTC all-op 5pi/6", cbtc_topo},
-      {"Euclidean MST", baselines::euclidean_mst(positions, R)},
-      {"RNG", baselines::relative_neighborhood_graph(positions, R)},
-      {"Gabriel", baselines::gabriel_graph(positions, R)},
-      {"Yao (6 cones)", baselines::yao_graph(positions, R, 6)},
-      {"max power", gr},
+  std::vector<std::pair<std::string, api::method_spec>> rows{
+      {"CBTC all-op 5pi/6", api::method_spec::oracle()},
+      {"Euclidean MST", api::method_spec::of_baseline(api::baseline_kind::euclidean_mst)},
+      {"RNG", api::method_spec::of_baseline(api::baseline_kind::relative_neighborhood)},
+      {"Gabriel", api::method_spec::of_baseline(api::baseline_kind::gabriel)},
+      {"Yao (6 cones)", api::method_spec::of_baseline(api::baseline_kind::yao)},
+      {"max power", api::method_spec::of_baseline(api::baseline_kind::max_power)},
   };
+
+  const api::engine eng;
   exp::table t({"topology", "edges", "avg degree", "avg radius", "interference", "preserved"});
-  for (const auto& [name, g] : rows) {
-    t.add_row({name, std::to_string(g.num_edges()), exp::table::num(graph::average_degree(g)),
-               exp::table::num(graph::average_radius(g, positions, R)),
-               exp::table::num(graph::topology_interference(g, positions).mean, 1),
-               graph::same_connectivity(g, gr) ? "yes" : "no"});
+  for (const auto& [name, method] : rows) {
+    api::scenario_spec spec = base;
+    spec.method = method;
+    const api::run_report r = eng.run(spec);
+    t.add_row({name, std::to_string(r.edges), exp::table::num(r.avg_degree),
+               exp::table::num(r.avg_radius), exp::table::num(r.interference_mean, 1),
+               r.invariants.connectivity_preserved ? "yes" : "no"});
   }
   t.print(std::cout);
   return 0;
 }
 
+int cmd_sweep(const cli_args& args) {
+  if (args.has_flag("list")) {
+    std::cout << "registered scenarios:\n";
+    for (const std::string& name : api::scenario_names()) std::cout << "  " << name << "\n";
+    return 0;
+  }
+
+  const std::string name = args.get("scenario", "paper_table1");
+  auto found = api::find_scenario(name);
+  if (!found) {
+    std::ostringstream msg;
+    msg << "unknown scenario '" << name << "'; try one of:";
+    for (const std::string& n : api::scenario_names()) msg << " " << n;
+    throw usage_error(msg.str());
+  }
+  api::scenario_spec spec = *std::move(found);
+
+  // Command-line overrides on top of the named scenario.
+  if (args.options.contains("method")) {
+    try {
+      spec.method = api::parse_method(args.get("method", ""));
+    } catch (const std::invalid_argument& e) {
+      throw usage_error(e.what());
+    }
+  }
+  if (args.options.contains("alpha")) spec.cbtc.alpha = args.num("alpha", spec.cbtc.alpha);
+  if (args.options.contains("nodes")) spec.deploy.nodes = args.count("nodes", spec.deploy.nodes);
+  if (args.options.contains("region")) {
+    spec.deploy.region_side = args.num("region", spec.deploy.region_side);
+  }
+  if (args.options.contains("range")) {
+    spec.radio.max_range = args.num("range", spec.radio.max_range);
+  }
+
+  const api::seed_range seeds{static_cast<std::uint64_t>(args.count("first", 0)),
+                              static_cast<std::uint64_t>(args.count("seeds", 20))};
+  const auto threads = static_cast<unsigned>(args.count("threads", 0));
+
+  const api::engine eng;
+  const api::batch_report b = eng.run_batch(spec, seeds, threads);
+
+  std::cout << "scenario " << spec.name << " (" << api::method_name(spec.method) << "), seeds ["
+            << seeds.first << ", " << seeds.first + seeds.count << "), " << b.runs << " runs\n\n";
+
+  exp::table t({"metric", "mean", "stddev", "min", "max"});
+  const auto row = [&t](const std::string& label, const exp::summary& s, int precision = 2) {
+    t.add_row({label, exp::table::num(s.mean(), precision), exp::table::num(s.stddev(), precision),
+               exp::table::num(s.min(), precision), exp::table::num(s.max(), precision)});
+  };
+  row("edges", b.edges, 1);
+  row("avg degree", b.degree);
+  row("avg radius", b.radius, 1);
+  row("max radius", b.max_radius, 1);
+  row("avg tx power", b.tx_power, 0);
+  row("boundary nodes", b.boundary, 1);
+  row("power stretch", b.power_stretch, 3);
+  row("hop stretch", b.hop_stretch, 3);
+  row("interference", b.interference, 1);
+  row("cut vertices", b.cut_vertices, 1);
+  if (b.has_protocol_stats) {
+    row("protocol messages", b.messages, 0);
+    row("protocol deliveries", b.deliveries, 0);
+    row("protocol tx energy", b.tx_energy, 0);
+    row("completion time", b.completion_time, 2);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nconnectivity preserved: " << (b.runs - b.connectivity_failures) << "/" << b.runs
+            << "\n";
+  return b.connectivity_failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const cli_args args = parse(argc, argv);
   try {
+    const cli_args args = parse(argc, argv);
     if (args.command == "generate") return cmd_generate(args);
     if (args.command == "build") return cmd_build(args);
     if (args.command == "analyze") return cmd_analyze(args);
     if (args.command == "compare") return cmd_compare(args);
+    if (args.command == "sweep") return cmd_sweep(args);
+  } catch (const usage_error& e) {
+    std::cerr << "error: " << e.what() << "\n\n";
+    return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
