@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_alpha_search_test.dir/tests/algo_alpha_search_test.cpp.o"
+  "CMakeFiles/algo_alpha_search_test.dir/tests/algo_alpha_search_test.cpp.o.d"
+  "algo_alpha_search_test"
+  "algo_alpha_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_alpha_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

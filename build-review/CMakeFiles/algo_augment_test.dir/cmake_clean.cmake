@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_augment_test.dir/tests/algo_augment_test.cpp.o"
+  "CMakeFiles/algo_augment_test.dir/tests/algo_augment_test.cpp.o.d"
+  "algo_augment_test"
+  "algo_augment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_augment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_gadgets_test.dir/tests/algo_gadgets_test.cpp.o"
+  "CMakeFiles/algo_gadgets_test.dir/tests/algo_gadgets_test.cpp.o.d"
+  "algo_gadgets_test"
+  "algo_gadgets_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_gadgets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_pairwise_test.dir/tests/algo_pairwise_test.cpp.o"
+  "CMakeFiles/algo_pairwise_test.dir/tests/algo_pairwise_test.cpp.o.d"
+  "algo_pairwise_test"
+  "algo_pairwise_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_pairwise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

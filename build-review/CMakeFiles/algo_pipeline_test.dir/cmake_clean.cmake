@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_pipeline_test.dir/tests/algo_pipeline_test.cpp.o"
+  "CMakeFiles/algo_pipeline_test.dir/tests/algo_pipeline_test.cpp.o.d"
+  "algo_pipeline_test"
+  "algo_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

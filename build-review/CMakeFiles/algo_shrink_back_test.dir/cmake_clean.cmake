@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_shrink_back_test.dir/tests/algo_shrink_back_test.cpp.o"
+  "CMakeFiles/algo_shrink_back_test.dir/tests/algo_shrink_back_test.cpp.o.d"
+  "algo_shrink_back_test"
+  "algo_shrink_back_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_shrink_back_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

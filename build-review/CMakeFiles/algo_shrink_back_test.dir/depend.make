@@ -1,0 +1,2 @@
+# Empty dependencies file for algo_shrink_back_test.
+# This may be replaced when dependencies are built.

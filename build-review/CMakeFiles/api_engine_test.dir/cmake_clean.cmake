@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_engine_test.dir/tests/api_engine_test.cpp.o"
+  "CMakeFiles/api_engine_test.dir/tests/api_engine_test.cpp.o.d"
+  "api_engine_test"
+  "api_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

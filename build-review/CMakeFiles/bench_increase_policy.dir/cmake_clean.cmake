@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_increase_policy.dir/bench/bench_increase_policy.cpp.o"
+  "CMakeFiles/bench_increase_policy.dir/bench/bench_increase_policy.cpp.o.d"
+  "bench_increase_policy"
+  "bench_increase_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_increase_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

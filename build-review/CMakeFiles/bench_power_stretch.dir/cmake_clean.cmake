@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_power_stretch.dir/bench/bench_power_stretch.cpp.o"
+  "CMakeFiles/bench_power_stretch.dir/bench/bench_power_stretch.cpp.o.d"
+  "bench_power_stretch"
+  "bench_power_stretch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_power_stretch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/alpha_search.cpp" "CMakeFiles/cbtc.dir/src/algo/alpha_search.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/algo/alpha_search.cpp.o.d"
+  "/root/repo/src/algo/analysis.cpp" "CMakeFiles/cbtc.dir/src/algo/analysis.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/algo/analysis.cpp.o.d"
+  "/root/repo/src/algo/augment.cpp" "CMakeFiles/cbtc.dir/src/algo/augment.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/algo/augment.cpp.o.d"
+  "/root/repo/src/algo/gadgets.cpp" "CMakeFiles/cbtc.dir/src/algo/gadgets.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/algo/gadgets.cpp.o.d"
+  "/root/repo/src/algo/oracle.cpp" "CMakeFiles/cbtc.dir/src/algo/oracle.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/algo/oracle.cpp.o.d"
+  "/root/repo/src/algo/pairwise.cpp" "CMakeFiles/cbtc.dir/src/algo/pairwise.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/algo/pairwise.cpp.o.d"
+  "/root/repo/src/algo/pipeline.cpp" "CMakeFiles/cbtc.dir/src/algo/pipeline.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/algo/pipeline.cpp.o.d"
+  "/root/repo/src/algo/shrink_back.cpp" "CMakeFiles/cbtc.dir/src/algo/shrink_back.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/algo/shrink_back.cpp.o.d"
+  "/root/repo/src/api/engine.cpp" "CMakeFiles/cbtc.dir/src/api/engine.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/api/engine.cpp.o.d"
+  "/root/repo/src/api/registry.cpp" "CMakeFiles/cbtc.dir/src/api/registry.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/api/registry.cpp.o.d"
+  "/root/repo/src/api/scenario.cpp" "CMakeFiles/cbtc.dir/src/api/scenario.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/api/scenario.cpp.o.d"
+  "/root/repo/src/baselines/baselines.cpp" "CMakeFiles/cbtc.dir/src/baselines/baselines.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/baselines/baselines.cpp.o.d"
+  "/root/repo/src/exp/stats.cpp" "CMakeFiles/cbtc.dir/src/exp/stats.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/exp/stats.cpp.o.d"
+  "/root/repo/src/exp/table.cpp" "CMakeFiles/cbtc.dir/src/exp/table.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/exp/table.cpp.o.d"
+  "/root/repo/src/geom/angle.cpp" "CMakeFiles/cbtc.dir/src/geom/angle.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/geom/angle.cpp.o.d"
+  "/root/repo/src/geom/arc_set.cpp" "CMakeFiles/cbtc.dir/src/geom/arc_set.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/geom/arc_set.cpp.o.d"
+  "/root/repo/src/geom/circle.cpp" "CMakeFiles/cbtc.dir/src/geom/circle.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/geom/circle.cpp.o.d"
+  "/root/repo/src/geom/random_points.cpp" "CMakeFiles/cbtc.dir/src/geom/random_points.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/geom/random_points.cpp.o.d"
+  "/root/repo/src/geom/spatial_grid.cpp" "CMakeFiles/cbtc.dir/src/geom/spatial_grid.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/geom/spatial_grid.cpp.o.d"
+  "/root/repo/src/geom/vec2.cpp" "CMakeFiles/cbtc.dir/src/geom/vec2.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/geom/vec2.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "CMakeFiles/cbtc.dir/src/graph/digraph.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/graph/digraph.cpp.o.d"
+  "/root/repo/src/graph/euclidean.cpp" "CMakeFiles/cbtc.dir/src/graph/euclidean.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/graph/euclidean.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "CMakeFiles/cbtc.dir/src/graph/graph.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/graph_io.cpp" "CMakeFiles/cbtc.dir/src/graph/graph_io.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/graph/graph_io.cpp.o.d"
+  "/root/repo/src/graph/interference.cpp" "CMakeFiles/cbtc.dir/src/graph/interference.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/graph/interference.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "CMakeFiles/cbtc.dir/src/graph/metrics.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/graph/metrics.cpp.o.d"
+  "/root/repo/src/graph/position_io.cpp" "CMakeFiles/cbtc.dir/src/graph/position_io.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/graph/position_io.cpp.o.d"
+  "/root/repo/src/graph/robustness.cpp" "CMakeFiles/cbtc.dir/src/graph/robustness.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/graph/robustness.cpp.o.d"
+  "/root/repo/src/graph/shortest_path.cpp" "CMakeFiles/cbtc.dir/src/graph/shortest_path.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/graph/shortest_path.cpp.o.d"
+  "/root/repo/src/graph/traversal.cpp" "CMakeFiles/cbtc.dir/src/graph/traversal.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/graph/traversal.cpp.o.d"
+  "/root/repo/src/graph/union_find.cpp" "CMakeFiles/cbtc.dir/src/graph/union_find.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/graph/union_find.cpp.o.d"
+  "/root/repo/src/proto/cbtc_agent.cpp" "CMakeFiles/cbtc.dir/src/proto/cbtc_agent.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/proto/cbtc_agent.cpp.o.d"
+  "/root/repo/src/proto/ndp.cpp" "CMakeFiles/cbtc.dir/src/proto/ndp.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/proto/ndp.cpp.o.d"
+  "/root/repo/src/proto/reconfig.cpp" "CMakeFiles/cbtc.dir/src/proto/reconfig.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/proto/reconfig.cpp.o.d"
+  "/root/repo/src/proto/runner.cpp" "CMakeFiles/cbtc.dir/src/proto/runner.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/proto/runner.cpp.o.d"
+  "/root/repo/src/radio/channel.cpp" "CMakeFiles/cbtc.dir/src/radio/channel.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/radio/channel.cpp.o.d"
+  "/root/repo/src/radio/direction.cpp" "CMakeFiles/cbtc.dir/src/radio/direction.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/radio/direction.cpp.o.d"
+  "/root/repo/src/radio/power_model.cpp" "CMakeFiles/cbtc.dir/src/radio/power_model.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/radio/power_model.cpp.o.d"
+  "/root/repo/src/sim/failure.cpp" "CMakeFiles/cbtc.dir/src/sim/failure.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/sim/failure.cpp.o.d"
+  "/root/repo/src/sim/medium.cpp" "CMakeFiles/cbtc.dir/src/sim/medium.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/sim/medium.cpp.o.d"
+  "/root/repo/src/sim/mobility.cpp" "CMakeFiles/cbtc.dir/src/sim/mobility.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/sim/mobility.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/cbtc.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/cbtc.dir/src/sim/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

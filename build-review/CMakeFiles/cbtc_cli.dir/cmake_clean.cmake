@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbtc_cli.dir/tools/cbtc_cli.cpp.o"
+  "CMakeFiles/cbtc_cli.dir/tools/cbtc_cli.cpp.o.d"
+  "cbtc_cli"
+  "cbtc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbtc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

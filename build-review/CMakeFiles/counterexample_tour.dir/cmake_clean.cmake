@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counterexample_tour.dir/examples/counterexample_tour.cpp.o"
+  "CMakeFiles/counterexample_tour.dir/examples/counterexample_tour.cpp.o.d"
+  "counterexample_tour"
+  "counterexample_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counterexample_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_angle_test.dir/tests/geom_angle_test.cpp.o"
+  "CMakeFiles/geom_angle_test.dir/tests/geom_angle_test.cpp.o.d"
+  "geom_angle_test"
+  "geom_angle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_angle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

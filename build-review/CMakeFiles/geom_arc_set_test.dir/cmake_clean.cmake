@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_arc_set_test.dir/tests/geom_arc_set_test.cpp.o"
+  "CMakeFiles/geom_arc_set_test.dir/tests/geom_arc_set_test.cpp.o.d"
+  "geom_arc_set_test"
+  "geom_arc_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_arc_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

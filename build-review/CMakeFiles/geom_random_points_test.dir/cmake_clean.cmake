@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_random_points_test.dir/tests/geom_random_points_test.cpp.o"
+  "CMakeFiles/geom_random_points_test.dir/tests/geom_random_points_test.cpp.o.d"
+  "geom_random_points_test"
+  "geom_random_points_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_random_points_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_shapes_test.dir/tests/geom_shapes_test.cpp.o"
+  "CMakeFiles/geom_shapes_test.dir/tests/geom_shapes_test.cpp.o.d"
+  "geom_shapes_test"
+  "geom_shapes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

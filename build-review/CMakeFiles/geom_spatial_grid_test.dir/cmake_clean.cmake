@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_spatial_grid_test.dir/tests/geom_spatial_grid_test.cpp.o"
+  "CMakeFiles/geom_spatial_grid_test.dir/tests/geom_spatial_grid_test.cpp.o.d"
+  "geom_spatial_grid_test"
+  "geom_spatial_grid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_spatial_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

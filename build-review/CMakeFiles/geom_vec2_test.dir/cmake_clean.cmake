@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_vec2_test.dir/tests/geom_vec2_test.cpp.o"
+  "CMakeFiles/geom_vec2_test.dir/tests/geom_vec2_test.cpp.o.d"
+  "geom_vec2_test"
+  "geom_vec2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_vec2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

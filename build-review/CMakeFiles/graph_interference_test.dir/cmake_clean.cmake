@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_interference_test.dir/tests/graph_interference_test.cpp.o"
+  "CMakeFiles/graph_interference_test.dir/tests/graph_interference_test.cpp.o.d"
+  "graph_interference_test"
+  "graph_interference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_interference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

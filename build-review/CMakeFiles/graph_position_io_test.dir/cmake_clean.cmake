@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_position_io_test.dir/tests/graph_position_io_test.cpp.o"
+  "CMakeFiles/graph_position_io_test.dir/tests/graph_position_io_test.cpp.o.d"
+  "graph_position_io_test"
+  "graph_position_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_position_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

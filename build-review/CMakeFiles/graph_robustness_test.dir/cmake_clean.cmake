@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_robustness_test.dir/tests/graph_robustness_test.cpp.o"
+  "CMakeFiles/graph_robustness_test.dir/tests/graph_robustness_test.cpp.o.d"
+  "graph_robustness_test"
+  "graph_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_traversal_test.dir/tests/graph_traversal_test.cpp.o"
+  "CMakeFiles/graph_traversal_test.dir/tests/graph_traversal_test.cpp.o.d"
+  "graph_traversal_test"
+  "graph_traversal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_traversal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_adhoc.dir/examples/mobile_adhoc.cpp.o"
+  "CMakeFiles/mobile_adhoc.dir/examples/mobile_adhoc.cpp.o.d"
+  "mobile_adhoc"
+  "mobile_adhoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_adhoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

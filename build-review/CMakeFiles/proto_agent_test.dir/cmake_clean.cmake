@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_agent_test.dir/tests/proto_agent_test.cpp.o"
+  "CMakeFiles/proto_agent_test.dir/tests/proto_agent_test.cpp.o.d"
+  "proto_agent_test"
+  "proto_agent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_agent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

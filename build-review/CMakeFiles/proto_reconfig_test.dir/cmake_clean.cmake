@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_reconfig_test.dir/tests/proto_reconfig_test.cpp.o"
+  "CMakeFiles/proto_reconfig_test.dir/tests/proto_reconfig_test.cpp.o.d"
+  "proto_reconfig_test"
+  "proto_reconfig_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_reconfig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

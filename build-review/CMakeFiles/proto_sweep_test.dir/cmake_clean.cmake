@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_sweep_test.dir/tests/proto_sweep_test.cpp.o"
+  "CMakeFiles/proto_sweep_test.dir/tests/proto_sweep_test.cpp.o.d"
+  "proto_sweep_test"
+  "proto_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
