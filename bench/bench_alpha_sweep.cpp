@@ -2,9 +2,11 @@
 //
 // Sweeps alpha across (0, pi] and reports, per alpha:
 //   - the fraction of random networks whose connectivity G_alpha
-//     preserves (Theorem 2.1 predicts 1.0 for alpha <= 5*pi/6);
+//     preserves (Theorem 2.1 predicts 1.0 for alpha <= 5*pi/6) —
+//     measured as a multi-seed engine::run_batch per alpha;
 //   - whether the Figure 5 counterexample disconnects (constructible
-//     exactly when alpha > 5*pi/6 — Theorem 2.4's tightness).
+//     exactly when alpha > 5*pi/6 — Theorem 2.4's tightness), run as a
+//     fixed-position scenario through the same façade.
 //
 // Random networks almost never realize the adversarial geometry, so the
 // random-network column typically stays at 1.0 slightly above the
@@ -16,20 +18,20 @@
 #include <vector>
 
 #include "algo/gadgets.h"
-#include "algo/oracle.h"
+#include "api/api.h"
 #include "exp/table.h"
-#include "exp/workload.h"
 #include "geom/angle.h"
-#include "graph/euclidean.h"
-#include "graph/traversal.h"
 
 int main(int argc, char** argv) {
   using namespace cbtc;
   const std::size_t networks = argc > 1 ? std::stoul(argv[1]) : 25;
 
-  exp::workload_params w = exp::paper_workload();
-  const radio::power_model pm = exp::workload_power(w);
+  api::scenario_spec spec;  // the paper's Section 5 workload, bare growth
+  spec.deploy = {.kind = api::deployment_kind::uniform, .nodes = 100, .region_side = 1500.0};
+  spec.base_seed = 20010601 + 1000;
+  spec.metrics = {.stretch = false, .interference = false, .robustness = false};
 
+  const api::engine eng;
   std::cout << "Connectivity preservation vs alpha (" << networks
             << " random networks per point; threshold = 5*pi/6 ~ "
             << exp::table::num(algo::alpha_five_pi_six, 4) << " rad)\n\n";
@@ -38,33 +40,27 @@ int main(int argc, char** argv) {
   for (double frac = 0.45; frac <= 1.0001; frac += 0.05) {
     const double alpha = frac * geom::pi;
 
-    std::size_t preserved = 0;
-    for (std::size_t net = 0; net < networks; ++net) {
-      const auto positions = exp::network_positions(w, 1000 + net);
-      const auto gr = graph::build_max_power_graph(positions, w.max_range);
-      algo::cbtc_params params;
-      params.alpha = alpha;
-      const auto closure = algo::run_cbtc(positions, pm, params).symmetric_closure();
-      if (graph::same_connectivity(closure, gr)) ++preserved;
-    }
+    spec.cbtc.alpha = alpha;
+    const api::batch_report batch = eng.run_batch(spec, {0, networks});
 
     const double eps = alpha - algo::alpha_five_pi_six;
     std::string gadget = eps <= 1e-9 ? "n/a (alpha <= 5pi/6: none exists)"
                                      : "n/a (gadget needs eps < pi/6)";
     if (eps > 1e-9 && eps < geom::pi / 6.0) {
       const auto g = algo::gadgets::make_figure5(eps);
-      const radio::power_model gpm(2.0, g.max_range);
-      algo::cbtc_params params;
-      params.alpha = g.alpha;
-      params.mode = algo::growth_mode::continuous;
-      const auto closure = algo::run_cbtc(g.positions, gpm, params).symmetric_closure();
-      const auto ggr = graph::build_max_power_graph(g.positions, g.max_range);
-      gadget = graph::same_connectivity(closure, ggr) ? "preserved (UNEXPECTED)"
-                                                      : "DISCONNECTED (as proven)";
+      api::scenario_spec gspec;
+      gspec.deploy = api::deployment_spec::fixed_positions(g.positions);
+      gspec.radio.max_range = g.max_range;
+      gspec.cbtc.alpha = g.alpha;
+      gspec.cbtc.mode = algo::growth_mode::continuous;
+      gspec.metrics = {.stretch = false, .interference = false, .robustness = false};
+      const api::run_report r = eng.run(gspec);
+      gadget = r.invariants.connectivity_preserved ? "preserved (UNEXPECTED)"
+                                                   : "DISCONNECTED (as proven)";
     }
 
     out.add_row({exp::table::num(frac, 2), exp::table::num(alpha, 4),
-                 exp::table::num(static_cast<double>(preserved) / networks, 3), gadget});
+                 exp::table::num(batch.preserved_fraction(), 3), gadget});
   }
   out.print(std::cout);
 

@@ -7,7 +7,9 @@
 // leaves open: aggressive growth converges in fewer broadcast rounds
 // but overshoots the minimal power (up to the growth factor), while
 // fine-grained growth spends more rounds (and hence more messages and
-// growth-phase energy) to land nearer the optimum.
+// growth-phase energy) to land nearer the optimum. Each configuration
+// is a scenario_spec run through engine::run; the per-node growth
+// trace comes back in run_report::growth.
 //
 // It also measures the paper's Section 5 remark that CBTC(5pi/6)
 // terminates sooner than CBTC(2pi/3) and so expends less power during
@@ -18,18 +20,18 @@
 #include <string>
 #include <vector>
 
-#include "algo/oracle.h"
+#include "api/api.h"
 #include "exp/stats.h"
 #include "exp/table.h"
-#include "exp/workload.h"
-#include "graph/metrics.h"
 
 int main(int argc, char** argv) {
   using namespace cbtc;
   const std::size_t networks = argc > 1 ? std::stoul(argv[1]) : 25;
 
-  exp::workload_params w = exp::paper_workload();
-  const radio::power_model pm = exp::workload_power(w);
+  api::scenario_spec base;  // the paper's Section 5 workload, bare growth
+  base.deploy = {.kind = api::deployment_kind::uniform, .nodes = 100, .region_side = 1500.0};
+  base.base_seed = 20010601 + 4000;
+  base.metrics = {.stretch = false, .interference = false, .robustness = false};
 
   struct policy {
     std::string name;
@@ -43,6 +45,7 @@ int main(int argc, char** argv) {
       {"continuous (ideal)", algo::growth_mode::continuous, 2.0},
   };
 
+  const api::engine eng;
   for (double alpha : {algo::alpha_five_pi_six, algo::alpha_two_pi_three}) {
     std::cout << "alpha = " << (alpha > 2.5 ? "5*pi/6" : "2*pi/3") << ", " << networks
               << " networks\n";
@@ -51,35 +54,35 @@ int main(int argc, char** argv) {
 
     // Ideal (continuous) final power per alpha, for the overshoot column.
     exp::summary ideal_power;
-    for (std::size_t net = 0; net < networks; ++net) {
-      const auto positions = exp::network_positions(w, 4000 + net);
-      algo::cbtc_params params;
-      params.alpha = alpha;
-      params.mode = algo::growth_mode::continuous;
-      const auto r = algo::run_cbtc(positions, pm, params);
-      for (const auto& n : r.nodes) ideal_power.add(n.final_power);
+    {
+      api::scenario_spec spec = base;
+      spec.cbtc.alpha = alpha;
+      spec.cbtc.mode = algo::growth_mode::continuous;
+      for (std::size_t net = 0; net < networks; ++net) {
+        const api::run_report r = eng.run(spec, net);
+        for (const auto& n : r.growth.nodes) ideal_power.add(n.final_power);
+      }
     }
 
     for (const policy& p : policies) {
+      api::scenario_spec spec = base;
+      spec.cbtc.alpha = alpha;
+      spec.cbtc.mode = p.mode;
+      spec.cbtc.increase_factor = p.factor;
       exp::summary rounds, energy, final_power, degree;
       for (std::size_t net = 0; net < networks; ++net) {
-        const auto positions = exp::network_positions(w, 4000 + net);
-        algo::cbtc_params params;
-        params.alpha = alpha;
-        params.mode = p.mode;
-        params.increase_factor = p.factor;
-        const auto r = algo::run_cbtc(positions, pm, params);
+        const api::run_report r = eng.run(spec, net);
         double net_rounds = 0.0, net_energy = 0.0, net_power = 0.0;
-        for (const auto& n : r.nodes) {
+        for (const auto& n : r.growth.nodes) {
           net_rounds += static_cast<double>(n.level_powers.size());
           for (double lp : n.level_powers) net_energy += lp;  // one broadcast per level
           net_power += n.final_power;
         }
-        const double nn = static_cast<double>(r.num_nodes());
+        const double nn = static_cast<double>(r.growth.num_nodes());
         rounds.add(net_rounds / nn);
         energy.add(net_energy / nn);
         final_power.add(net_power / nn);
-        degree.add(graph::average_degree(r.symmetric_closure()));
+        degree.add(r.avg_degree);
       }
       out.add_row({p.name, exp::table::num(rounds.mean(), 2), exp::table::num(energy.mean(), 0),
                    exp::table::num(final_power.mean(), 0),

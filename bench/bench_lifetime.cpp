@@ -3,13 +3,11 @@
 // The paper's Discussion (Section 6) argues that reducing transmission
 // power tends to increase network lifetime, with the caveat that
 // minimum-energy relaying can create hot spots. This bench makes the
-// effect measurable:
-//
-//   - every node gets the same battery;
-//   - each round, every node beacons at its topology radius power and
-//     `flows` random source->sink messages are routed hop-by-hop along
-//     the topology, draining p(d) per hop from each transmitting relay;
-//   - a node dies when its battery empties.
+// effect measurable through engine::run_lifetime: every node gets the
+// same battery; each round every node beacons at its topology radius
+// power and `flows` random source->sink messages are routed hop-by-hop
+// along the topology, draining p(d) per transmitting relay; a node
+// dies when its battery empties.
 //
 // Lifetime metrics (pure attrition — a live deployment would keep
 // reconfiguring its topology as nodes die, so what matters is how long
@@ -19,164 +17,54 @@
 //   - rounds until the *survivors' max-power graph* partitions (after
 //     that, no topology control could reconnect the field).
 //
-// Usage: bench_lifetime [networks]
-#include <cmath>
-#include <functional>
+// Usage: bench_lifetime [networks] [max_rounds]
 #include <iostream>
-#include <random>
 #include <string>
 #include <vector>
 
-#include "algo/pipeline.h"
-#include "baselines/baselines.h"
+#include "api/api.h"
 #include "exp/stats.h"
 #include "exp/table.h"
-#include "exp/workload.h"
-#include "graph/euclidean.h"
-#include "graph/metrics.h"
-#include "graph/shortest_path.h"
-#include "graph/traversal.h"
-
-namespace {
-
-using namespace cbtc;
-
-struct lifetime_result {
-  double first_death{0.0};
-  double quarter_dead{0.0};
-  double field_partition{0.0};
-};
-
-bool alive_subgraph_connected(const graph::undirected_graph& g, const std::vector<bool>& alive) {
-  graph::undirected_graph live(g.num_nodes());
-  graph::node_id first_alive = graph::invalid_node;
-  std::size_t alive_count = 0;
-  for (graph::node_id u = 0; u < g.num_nodes(); ++u) {
-    if (alive[u]) {
-      ++alive_count;
-      if (first_alive == graph::invalid_node) first_alive = u;
-    }
-  }
-  if (alive_count <= 1) return true;
-  for (const graph::edge& e : g.edges()) {
-    if (alive[e.u] && alive[e.v]) live.add_edge(e.u, e.v);
-  }
-  const auto comps = graph::connected_components(live);
-  for (graph::node_id u = 0; u < g.num_nodes(); ++u) {
-    if (alive[u] && !comps.same_component(u, first_alive)) return false;
-  }
-  return true;
-}
-
-lifetime_result simulate_lifetime(const graph::undirected_graph& topology,
-                                  const graph::undirected_graph& gr,
-                                  const std::vector<geom::vec2>& positions, double exponent,
-                                  double battery, std::size_t flows, std::uint64_t seed,
-                                  std::size_t max_rounds) {
-  const std::size_t n = positions.size();
-  std::vector<double> charge(n, battery);
-  std::vector<bool> alive(n, true);
-  std::mt19937_64 rng(seed);
-
-  std::vector<double> beacon(n, 0.0);
-  for (graph::node_id u = 0; u < n; ++u) {
-    beacon[u] = std::pow(graph::node_radius(topology, positions, u, 0.0), exponent);
-  }
-  const graph::edge_cost_fn cost = graph::power_cost(positions, exponent);
-
-  lifetime_result res;
-  std::size_t deaths = 0;
-  graph::undirected_graph live = topology;
-  for (std::size_t round = 1; round <= max_rounds; ++round) {
-    for (graph::node_id u = 0; u < n; ++u) {
-      if (alive[u]) charge[u] -= beacon[u];
-    }
-    for (std::size_t f = 0; f < flows; ++f) {
-      const auto s = static_cast<graph::node_id>(rng() % n);
-      const auto t = static_cast<graph::node_id>(rng() % n);
-      if (s == t || !alive[s] || !alive[t]) continue;
-      const auto path = graph::bfs_path(live, s, t);
-      for (std::size_t h = 0; h + 1 < path.size(); ++h) {
-        charge[path[h]] -= cost(path[h], path[h + 1]);
-      }
-    }
-    bool someone_died = false;
-    for (graph::node_id u = 0; u < n; ++u) {
-      if (alive[u] && charge[u] <= 0.0) {
-        alive[u] = false;
-        someone_died = true;
-        ++deaths;
-        if (res.first_death == 0.0) res.first_death = static_cast<double>(round);
-        // Remove the dead node's edges from the routing topology.
-        const std::vector<graph::node_id> nbrs(live.neighbors(u).begin(),
-                                               live.neighbors(u).end());
-        for (graph::node_id v : nbrs) live.remove_edge(u, v);
-      }
-    }
-    if (res.quarter_dead == 0.0 && deaths * 4 >= n) {
-      res.quarter_dead = static_cast<double>(round);
-    }
-    if (someone_died && !alive_subgraph_connected(gr, alive)) {
-      res.field_partition = static_cast<double>(round);
-      break;
-    }
-  }
-  const auto cap = static_cast<double>(max_rounds);
-  if (res.first_death == 0.0) res.first_death = cap;
-  if (res.quarter_dead == 0.0) res.quarter_dead = cap;
-  if (res.field_partition == 0.0) res.field_partition = cap;
-  return res;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
+  using namespace cbtc;
   const std::size_t networks = argc > 1 ? std::stoul(argv[1]) : 10;
+  const std::size_t max_rounds = argc > 2 ? std::stoul(argv[2]) : 20000;
 
-  exp::workload_params w = exp::paper_workload();
-  const radio::power_model pm = exp::workload_power(w);
-  const double battery = 40.0 * pm.max_power();  // ~40 max-power rounds
-  const std::size_t flows = 30;
-  const std::size_t max_rounds = 20000;
+  api::scenario_spec base;  // the paper's Section 5 workload
+  base.deploy = {.kind = api::deployment_kind::uniform, .nodes = 100, .region_side = 1500.0};
+  base.base_seed = 20010601 + 5000;
+  base.cbtc.mode = algo::growth_mode::continuous;
+
+  const api::lifetime_spec life{.battery_rounds = 40.0, .flows = 30, .max_rounds = max_rounds};
 
   struct config {
     std::string name;
-    std::function<graph::undirected_graph(const std::vector<geom::vec2>&)> build;
+    api::method_spec method;
+    algo::optimization_set opts;
   };
-  const double R = w.max_range;
   const std::vector<config> configs{
-      {"max power (G_R)",
-       [R](const std::vector<geom::vec2>& p) { return graph::build_max_power_graph(p, R); }},
-      {"CBTC basic a=5pi/6",
-       [&pm](const std::vector<geom::vec2>& p) {
-         algo::cbtc_params params;
-         params.mode = algo::growth_mode::continuous;
-         return algo::build_topology(p, pm, params, {}).topology;
-       }},
-      {"CBTC all-op a=5pi/6",
-       [&pm](const std::vector<geom::vec2>& p) {
-         algo::cbtc_params params;
-         params.mode = algo::growth_mode::continuous;
-         return algo::build_topology(p, pm, params, algo::optimization_set::all()).topology;
-       }},
-      {"Euclidean MST",
-       [R](const std::vector<geom::vec2>& p) { return baselines::euclidean_mst(p, R); }},
+      {"max power (G_R)", api::method_spec::of_baseline(api::baseline_kind::max_power), {}},
+      {"CBTC basic a=5pi/6", api::method_spec::oracle(), {}},
+      {"CBTC all-op a=5pi/6", api::method_spec::oracle(), algo::optimization_set::all()},
+      {"Euclidean MST", api::method_spec::of_baseline(api::baseline_kind::euclidean_mst), {}},
   };
 
-  std::cout << "Network lifetime: battery = 40 max-power broadcasts, " << flows
-            << " flows/round, " << networks << " networks x " << w.nodes << " nodes\n\n";
+  std::cout << "Network lifetime: battery = " << life.battery_rounds << " max-power broadcasts, "
+            << life.flows << " flows/round, " << networks << " networks x " << base.deploy.nodes
+            << " nodes\n\n";
 
+  const api::engine eng;
   exp::table out({"topology", "rounds to first death", "rounds to 25% dead",
                   "rounds to field partition", "lifetime vs max power"});
   double baseline_partition = 0.0;
   for (const config& cfg : configs) {
+    api::scenario_spec spec = base;
+    spec.method = cfg.method;
+    spec.opts = cfg.opts;
     exp::summary first_death, quarter, partition;
     for (std::size_t net = 0; net < networks; ++net) {
-      const auto positions = exp::network_positions(w, 5000 + net);
-      const auto gr = graph::build_max_power_graph(positions, R);
-      const auto topo = cfg.build(positions);
-      const lifetime_result r = simulate_lifetime(topo, gr, positions, pm.exponent(), battery,
-                                                  flows, 777 + net, max_rounds);
+      const api::lifetime_report r = eng.run_lifetime(spec, life, net);
       first_death.add(r.first_death);
       quarter.add(r.quarter_dead);
       partition.add(r.field_partition);

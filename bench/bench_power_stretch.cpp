@@ -4,27 +4,28 @@
 // for alpha <= pi/2 the most power-efficient route in G_alpha costs at
 // most (k + 2 k sin(alpha/2)) times the optimum in G_R (k = 1 for pure
 // transmit power with p(d) = d^n). This bench measures the actual
-// stretch across alpha values and optimization levels.
+// stretch across alpha values and optimization levels with one
+// engine::run_batch per configuration.
 //
 // Usage: bench_power_stretch [networks]
 #include <cmath>
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "algo/pipeline.h"
-#include "exp/stats.h"
+#include "api/api.h"
 #include "exp/table.h"
-#include "exp/workload.h"
 #include "geom/angle.h"
-#include "graph/euclidean.h"
-#include "graph/metrics.h"
 
 int main(int argc, char** argv) {
   using namespace cbtc;
   const std::size_t networks = argc > 1 ? std::stoul(argv[1]) : 20;
 
-  exp::workload_params w = exp::paper_workload();
-  const radio::power_model pm = exp::workload_power(w);
+  api::scenario_spec spec;  // the paper's Section 5 workload
+  spec.deploy = {.kind = api::deployment_kind::uniform, .nodes = 100, .region_side = 1500.0};
+  spec.base_seed = 20010601 + 2000;
+  spec.metrics = {.stretch = true, .stretch_samples = 16, .interference = false,
+                  .robustness = false};
 
   struct row {
     std::string name;
@@ -44,25 +45,18 @@ int main(int argc, char** argv) {
             << "[16]'s bound for alpha <= pi/2: 1 + 2 sin(alpha/2) = "
             << exp::table::num(1.0 + 2.0 * std::sin(geom::pi / 4.0), 3) << "\n\n";
 
+  const api::engine eng;
   exp::table out({"configuration", "power stretch (mean)", "power stretch (max)",
                   "hop stretch (mean)", "hop stretch (max)"});
   for (const row& r : rows) {
-    exp::summary ps_mean, ps_max, hs_mean, hs_max;
-    for (std::size_t net = 0; net < networks; ++net) {
-      const auto positions = exp::network_positions(w, 2000 + net);
-      const auto gr = graph::build_max_power_graph(positions, w.max_range);
-      algo::cbtc_params params;
-      params.alpha = r.alpha;
-      const auto topo = algo::build_topology(positions, pm, params, r.opts).topology;
-      const auto ps = graph::power_stretch(topo, gr, positions, pm.exponent(), 16);
-      const auto hs = graph::hop_stretch(topo, gr, 16);
-      ps_mean.add(ps.mean);
-      ps_max.add(ps.max);
-      hs_mean.add(hs.mean);
-      hs_max.add(hs.max);
-    }
-    out.add_row({r.name, exp::table::num(ps_mean.mean(), 3), exp::table::num(ps_max.max(), 3),
-                 exp::table::num(hs_mean.mean(), 3), exp::table::num(hs_max.max(), 3)});
+    api::scenario_spec s = spec;
+    s.cbtc.alpha = r.alpha;
+    s.opts = r.opts;
+    const api::batch_report b = eng.run_batch(s, {0, networks});
+    out.add_row({r.name, exp::table::num(b.power_stretch.mean(), 3),
+                 exp::table::num(b.power_stretch_max.max(), 3),
+                 exp::table::num(b.hop_stretch.mean(), 3),
+                 exp::table::num(b.hop_stretch_max.max(), 3)});
   }
   out.print(std::cout);
 

@@ -4,101 +4,32 @@
 // beaconing + reconfiguration rules) while crashing nodes and moving
 // nodes, and reports message/energy cost and whether the surviving
 // topology still preserves the connectivity of the surviving G_R.
+// Everything runs through the cbtc::api façade: each row is one
+// scenario_spec + sim_spec pair handed to engine::run_dynamic.
 //
-// Usage: bench_reconfig [nodes]
+// Usage: bench_reconfig [nodes] [horizon]
 #include <iostream>
-#include <memory>
 #include <string>
 #include <vector>
 
+#include "api/api.h"
 #include "exp/table.h"
-#include "exp/workload.h"
-#include "geom/random_points.h"
-#include "graph/euclidean.h"
-#include "graph/traversal.h"
-#include "proto/reconfig.h"
-#include "sim/failure.h"
-#include "sim/mobility.h"
-
-namespace {
-
-using namespace cbtc;
-
-struct scenario_result {
-  bool connectivity_ok{false};
-  std::uint64_t broadcasts{0};
-  std::uint64_t unicasts{0};
-  double tx_energy{0.0};
-  std::uint64_t regrows{0};
-  std::uint64_t leaves{0};
-  std::uint64_t achanges{0};
-};
-
-scenario_result run_scenario(std::size_t nodes, std::size_t crashes, double mobility_speed,
-                             std::uint64_t seed) {
-  const radio::power_model pm(2.0, 500.0);
-  const geom::bbox region = geom::bbox::rect(1200.0, 1200.0);
-  const auto positions = geom::uniform_points(nodes, region, seed);
-
-  sim::simulator simulator;
-  sim::medium medium(simulator, pm);
-  std::vector<std::unique_ptr<proto::reconfig_agent>> agents;
-
-  proto::reconfig_config cfg;
-  cfg.agent.round_timeout = 0.2;
-  cfg.ndp.beacon_interval = 1.0;
-  cfg.ndp.miss_limit = 3;
-  for (const auto& p : positions) {
-    const auto id = medium.add_node(p, {});
-    agents.push_back(std::make_unique<proto::reconfig_agent>(medium, id, cfg));
-  }
-  const double horizon = 120.0;
-  for (auto& a : agents) a->start(horizon);
-  simulator.run_until(15.0);  // initial topology settles
-
-  sim::failure_injector injector(medium, seed ^ 0xdead);
-  if (crashes > 0) injector.random_crashes(crashes, 16.0, 20.0);
-  if (mobility_speed > 0.0) {
-    static std::vector<std::unique_ptr<sim::random_waypoint>> keep_alive;
-    keep_alive.push_back(std::make_unique<sim::random_waypoint>(
-        medium,
-        sim::waypoint_params{.region = region, .min_speed = mobility_speed / 2.0,
-                             .max_speed = mobility_speed, .pause = 0.0},
-        seed ^ 0xbeef));
-    keep_alive.back()->start(0.5, 60.0);
-  }
-  simulator.run_until(horizon);
-
-  // Surviving topology vs surviving G_R.
-  graph::undirected_graph topo(nodes);
-  for (graph::node_id u = 0; u < nodes; ++u) {
-    if (!medium.is_up(u)) continue;
-    for (const auto& [v, info] : agents[u]->cbtc().neighbors()) {
-      if (medium.is_up(v)) topo.add_edge(u, v);
-    }
-  }
-  const auto full_gr = graph::build_max_power_graph(medium.positions(), pm.max_range());
-  std::vector<bool> up(nodes);
-  for (graph::node_id u = 0; u < nodes; ++u) up[u] = medium.is_up(u);
-  const graph::undirected_graph live_gr = full_gr.induced(up);
-
-  scenario_result res;
-  res.connectivity_ok = graph::same_connectivity(topo, live_gr);
-  res.broadcasts = medium.stats().broadcasts;
-  res.unicasts = medium.stats().unicasts;
-  res.tx_energy = medium.stats().tx_energy;
-  for (const auto& a : agents) {
-    res.regrows += a->stats().regrows;
-    res.leaves += a->stats().leaves;
-    res.achanges += a->stats().achanges;
-  }
-  return res;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
+  using namespace cbtc;
   const std::size_t nodes = argc > 1 ? std::stoul(argv[1]) : 40;
+  const double horizon = argc > 2 ? std::stod(argv[2]) : 120.0;
+
+  api::scenario_spec spec;
+  spec.deploy = {.kind = api::deployment_kind::uniform, .nodes = nodes, .region_side = 1200.0};
+  spec.base_seed = 97531;
+  spec.protocol.agent.round_timeout = 0.2;
+
+  api::sim_spec dyn;
+  dyn.settle = 15.0;
+  dyn.horizon = horizon;
+  dyn.sample_every = 5.0;
+  dyn.beacons = {.interval = 1.0, .miss_limit = 3};
 
   struct scenario {
     std::string name;
@@ -114,17 +45,30 @@ int main(int argc, char** argv) {
       {"crashes + mobility", nodes / 10, 3.0},
   };
 
-  std::cout << "Reconfiguration under churn: " << nodes
-            << " nodes, 1200^2 region, R = 500, 120 time units, beacons every 1.0\n\n";
+  std::cout << "Reconfiguration under churn: " << nodes << " nodes, 1200^2 region, R = 500, "
+            << horizon << " time units, beacons every " << dyn.beacons.interval << "\n\n";
 
-  exp::table out({"scenario", "connectivity", "broadcasts", "unicasts", "tx energy",
-                  "leaves", "aChanges", "regrows"});
+  const api::engine eng;
+  exp::table out({"scenario", "connectivity", "broadcasts", "unicasts", "tx energy", "leaves",
+                  "aChanges", "regrows", "repair (max)"});
   for (const scenario& s : scenarios) {
-    const scenario_result r = run_scenario(nodes, s.crashes, s.speed, 97531);
-    out.add_row({s.name, r.connectivity_ok ? "preserved" : "BROKEN",
-                 std::to_string(r.broadcasts), std::to_string(r.unicasts),
-                 exp::table::num(r.tx_energy, 0), std::to_string(r.leaves),
-                 std::to_string(r.achanges), std::to_string(r.regrows)});
+    api::sim_spec d = dyn;
+    d.failures = {.random_crashes = s.crashes, .window_begin = 16.0, .window_end = 20.0};
+    if (s.speed > 0.0) {
+      d.mobility = {.kind = api::mobility_kind::random_waypoint,
+                    .min_speed = s.speed / 2.0,
+                    .max_speed = s.speed,
+                    .pause = 0.0,
+                    .tick = 0.5,
+                    .start = dyn.settle,
+                    .until = horizon / 2.0};
+    }
+    const api::dynamic_report r = eng.run_dynamic(spec, d);
+    out.add_row({s.name, r.final_connectivity_ok ? "preserved" : "BROKEN",
+                 std::to_string(r.channel.broadcasts), std::to_string(r.channel.unicasts),
+                 exp::table::num(r.channel.tx_energy, 0), std::to_string(r.leaves),
+                 std::to_string(r.achanges), std::to_string(r.regrows),
+                 exp::table::num(r.repair_latency_max, 1)});
   }
   out.print(std::cout);
 

@@ -2,22 +2,16 @@
 // jittery, duplicating channel — the full Section 4 asynchronous model.
 //
 // Nodes keep moving; the NDP's beacons feed join/leave/aChange events
-// into the reconfiguration rules, and we sample connectivity over time
-// to watch the topology track the motion.
+// into the reconfiguration rules, and the engine samples connectivity
+// over time so we can watch the topology track the motion. The whole
+// run is one scenario_spec + sim_spec handed to engine::run_dynamic.
 //
 //   $ ./mobile_adhoc [nodes] [seed]
 #include <iomanip>
 #include <iostream>
-#include <memory>
 #include <string>
-#include <vector>
 
-#include "geom/random_points.h"
-#include "graph/euclidean.h"
-#include "graph/metrics.h"
-#include "graph/traversal.h"
-#include "proto/reconfig.h"
-#include "sim/mobility.h"
+#include "api/api.h"
 
 int main(int argc, char** argv) {
   using namespace cbtc;
@@ -25,78 +19,55 @@ int main(int argc, char** argv) {
   const std::size_t nodes = argc > 1 ? std::stoul(argv[1]) : 40;
   const std::uint64_t seed = argc > 2 ? std::stoull(argv[2]) : 3;
 
-  const radio::power_model radio(2.0, 500.0);
-  const geom::bbox region = geom::bbox::rect(1200.0, 1200.0);
-  const auto positions = geom::uniform_points(nodes, region, seed);
-
-  sim::simulator simulator;
+  api::scenario_spec spec;
+  spec.deploy = {.kind = api::deployment_kind::uniform, .nodes = nodes, .region_side = 1200.0};
+  spec.base_seed = seed;
   // Imperfect channel: 5% loss, 2% duplication, jitter.
-  radio::channel_params ch;
-  ch.drop_prob = 0.05;
-  ch.dup_prob = 0.02;
-  ch.base_delay = 0.01;
-  ch.jitter_max = 0.02;
-  sim::medium medium(simulator, radio, radio::channel(ch, seed));
+  spec.protocol.channel.drop_prob = 0.05;
+  spec.protocol.channel.dup_prob = 0.02;
+  spec.protocol.channel.base_delay = 0.01;
+  spec.protocol.channel.jitter_max = 0.02;
+  spec.protocol.agent.round_timeout = 0.3;
+  spec.protocol.agent.retries_per_level = 2;  // ride out hello/ack loss
 
-  proto::reconfig_config cfg;
-  cfg.agent.round_timeout = 0.3;
-  cfg.agent.retries_per_level = 2;  // ride out hello/ack loss
-  cfg.ndp.beacon_interval = 1.0;
-  cfg.ndp.miss_limit = 4;           // tolerate a lost beacon or two
-  cfg.ndp.achange_threshold = 0.08;
+  api::sim_spec dyn;
+  dyn.horizon = 200.0;
+  dyn.settle = 20.0;
+  dyn.sample_every = 20.0;
+  dyn.beacons = {.interval = 1.0,
+                 .miss_limit = 4,  // tolerate a lost beacon or two
+                 .achange_threshold = 0.08};
+  dyn.mobility = {.kind = api::mobility_kind::random_waypoint,
+                  .min_speed = 2.0,
+                  .max_speed = 6.0,
+                  .pause = 5.0,
+                  .tick = 0.5,
+                  .start = 0.0,
+                  .until = 160.0};  // move until t=160, then settle
 
-  std::vector<std::unique_ptr<proto::reconfig_agent>> agents;
-  for (const auto& p : positions) {
-    const auto id = medium.add_node(p, {});
-    agents.push_back(std::make_unique<proto::reconfig_agent>(medium, id, cfg));
-  }
-
-  const double horizon = 200.0;
-  for (auto& a : agents) a->start(horizon);
-
-  sim::random_waypoint mobility(
-      medium, {.region = region, .min_speed = 2.0, .max_speed = 6.0, .pause = 5.0}, seed ^ 0xf00);
-  mobility.start(0.5, 160.0);  // move until t=160, then settle
-
-  auto live_topology = [&] {
-    graph::undirected_graph g(nodes);
-    for (graph::node_id u = 0; u < nodes; ++u) {
-      for (const auto& [v, info] : agents[u]->cbtc().neighbors()) g.add_edge(u, v);
-    }
-    return g;
-  };
+  const api::engine eng;
+  const api::dynamic_report r = eng.run_dynamic(spec, dyn);
 
   std::cout << "t      edges  avgdeg  avgradius  connectivity==G_R\n";
-  for (double t = 20.0; t <= horizon; t += 20.0) {
-    simulator.run_until(t);
-    const auto topo = live_topology();
-    const auto gr = graph::build_max_power_graph(medium.positions(), radio.max_range());
-    std::cout << std::setw(5) << t << "  " << std::setw(5) << topo.num_edges() << "  "
-              << std::setw(6) << std::fixed << std::setprecision(2)
-              << graph::average_degree(topo) << "  " << std::setw(9)
-              << graph::average_radius(topo, medium.positions(), radio.max_range()) << "  "
-              << (graph::same_connectivity(topo, gr) ? "yes" : "catching up") << "\n";
+  for (const api::dynamic_sample& s : r.samples) {
+    std::cout << std::setw(5) << s.t << "  " << std::setw(5) << s.edges << "  " << std::setw(6)
+              << std::fixed << std::setprecision(2) << s.avg_degree << "  " << std::setw(9)
+              << s.avg_radius << "  " << (s.connectivity_ok ? "yes" : "catching up") << "\n";
   }
 
-  std::uint64_t joins = 0, leaves = 0, achanges = 0, regrows = 0;
-  for (const auto& a : agents) {
-    joins += a->stats().joins;
-    leaves += a->stats().leaves;
-    achanges += a->stats().achanges;
-    regrows += a->stats().regrows;
-  }
   std::cout << "\nreconfiguration events over the run:\n"
-            << "  joins: " << joins << "  leaves: " << leaves << "  aChanges: " << achanges
-            << "  regrows: " << regrows << "\n"
-            << "channel: " << medium.stats().drops << " messages lost, "
-            << medium.stats().deliveries << " delivered\n";
+            << "  joins: " << r.joins << "  leaves: " << r.leaves << "  aChanges: " << r.achanges
+            << "  regrows: " << r.regrows << "\n"
+            << "channel: " << r.channel.drops << " messages lost, " << r.channel.deliveries
+            << " delivered\n";
+  if (r.disruptions > 0) {
+    std::cout << "disruptions repaired: " << r.disruptions
+              << " (max repair latency: " << r.repair_latency_max << ")\n";
+  }
 
   // After motion stops the algorithm must converge (the paper's
   // stabilization argument): final check.
-  const auto topo = live_topology();
-  const auto gr = graph::build_max_power_graph(medium.positions(), radio.max_range());
-  const bool ok = graph::same_connectivity(topo, gr);
-  std::cout << "final (motion stopped at t=160): connectivity "
-            << (ok ? "preserved" : "NOT preserved") << "\n";
-  return ok ? 0 : 1;
+  std::cout << "final (motion stopped at t=" << dyn.mobility.until << "): connectivity "
+            << (r.final_connectivity_ok ? "preserved" : "NOT preserved") << "\n";
+  return r.final_connectivity_ok ? 0 : 1;
 }

@@ -5,20 +5,16 @@
 // bridges — the hard case for topology control). Sensors then start
 // dying; the NDP notices, nodes regrow their cones, and the network
 // keeps the surviving connectivity without any global coordination.
+// The run is one scenario_spec + sim_spec pair; the SVG at the end is
+// rendered from the dynamic_report's final live topology.
 //
 //   $ ./sensor_field [sensors] [seed]
 #include <iostream>
-#include <memory>
 #include <string>
-#include <vector>
 
-#include "geom/random_points.h"
-#include "graph/euclidean.h"
+#include "api/api.h"
+#include "geom/bbox.h"
 #include "graph/graph_io.h"
-#include "graph/metrics.h"
-#include "graph/traversal.h"
-#include "proto/reconfig.h"
-#include "sim/failure.h"
 
 int main(int argc, char** argv) {
   using namespace cbtc;
@@ -26,83 +22,51 @@ int main(int argc, char** argv) {
   const std::size_t sensors = argc > 1 ? std::stoul(argv[1]) : 60;
   const std::uint64_t seed = argc > 2 ? std::stoull(argv[2]) : 7;
 
-  const radio::power_model radio(2.0, 500.0);
-  const geom::bbox field = geom::bbox::rect(1800.0, 1800.0);
-  const auto positions = geom::clustered_points(sensors, 5, 150.0, field, seed);
+  api::scenario_spec spec;
+  spec.deploy = {.kind = api::deployment_kind::cluster,
+                 .nodes = sensors,
+                 .region_side = 1800.0,
+                 .clusters = 5,
+                 .cluster_sigma = 150.0};
+  spec.base_seed = seed;
+  spec.protocol.agent.round_timeout = 0.2;
 
-  sim::simulator simulator;
-  sim::medium medium(simulator, radio);
-
-  proto::reconfig_config cfg;
-  cfg.agent.round_timeout = 0.2;
-  cfg.ndp.beacon_interval = 1.0;
-  cfg.ndp.miss_limit = 3;
-
-  std::vector<std::unique_ptr<proto::reconfig_agent>> agents;
-  for (const auto& p : positions) {
-    const auto id = medium.add_node(p, {});
-    agents.push_back(std::make_unique<proto::reconfig_agent>(medium, id, cfg));
-  }
-
-  const double horizon = 150.0;
-  for (auto& a : agents) a->start(horizon);
-  simulator.run_until(15.0);
-
-  auto live_topology = [&] {
-    graph::undirected_graph g(sensors);
-    for (graph::node_id u = 0; u < sensors; ++u) {
-      if (!medium.is_up(u)) continue;
-      for (const auto& [v, info] : agents[u]->cbtc().neighbors()) {
-        if (medium.is_up(v)) g.add_edge(u, v);
-      }
-    }
-    return g;
-  };
-  auto live_gr = [&] {
-    const auto full = graph::build_max_power_graph(medium.positions(), radio.max_range());
-    std::vector<bool> up(sensors);
-    for (graph::node_id u = 0; u < sensors; ++u) up[u] = medium.is_up(u);
-    return full.induced(up);
-  };
-
-  std::cout << "t=15: initial topology built by the distributed protocol\n"
-            << "  live sensors: " << sensors << ", edges: " << live_topology().num_edges()
-            << ", avg radius: "
-            << graph::average_radius(live_topology(), medium.positions(), radio.max_range())
-            << "\n  connectivity == surviving G_R: "
-            << (graph::same_connectivity(live_topology(), live_gr()) ? "yes" : "NO") << "\n\n";
-
+  api::sim_spec dyn;
+  dyn.horizon = 150.0;
+  dyn.settle = 15.0;
+  dyn.sample_every = 15.0;
+  dyn.beacons = {.interval = 1.0, .miss_limit = 3};
   // Batteries start failing: 20% of the sensors die over t in [20, 60].
-  sim::failure_injector injector(medium, seed ^ 0xabcdef);
-  const auto victims = injector.random_crashes(sensors / 5, 20.0, 60.0);
-  std::cout << "scheduling " << victims.size() << " battery failures in t = [20, 60]...\n";
+  dyn.failures = {.random_crashes = sensors / 5, .window_begin = 20.0, .window_end = 60.0};
 
-  simulator.run_until(horizon);
+  const api::engine eng;
+  const api::dynamic_report r = eng.run_dynamic(spec, dyn);
 
-  const auto topo = live_topology();
-  const auto gr = live_gr();
-  std::size_t alive = 0;
-  for (graph::node_id u = 0; u < sensors; ++u) {
-    if (medium.is_up(u)) ++alive;
-  }
-  std::uint64_t regrows = 0, leaves = 0;
-  for (const auto& a : agents) {
-    regrows += a->stats().regrows;
-    leaves += a->stats().leaves;
-  }
+  std::cout << "t=" << dyn.settle << ": initial topology built by the distributed protocol\n"
+            << "  live sensors: " << sensors << ", edges: " << r.initial_edges
+            << ", avg radius: " << r.samples.front().avg_radius
+            << "\n  connectivity == surviving G_R: "
+            << (r.initial_connectivity_ok ? "yes" : "NO") << "\n\n"
+            << "scheduling " << dyn.failures.random_crashes
+            << " battery failures in t = [20, 60]...\n";
 
-  std::cout << "\nt=" << horizon << ": after failures and self-healing\n"
-            << "  live sensors: " << alive << "\n"
-            << "  leave events observed: " << leaves << ", cone regrowths: " << regrows << "\n"
-            << "  surviving components (G_R): " << graph::connected_components(gr).count
-            << ", topology: " << graph::connected_components(topo).count << "\n"
-            << "  connectivity == surviving G_R: "
-            << (graph::same_connectivity(topo, gr) ? "yes" : "NO") << "\n"
-            << "  total broadcasts: " << medium.stats().broadcasts
-            << ", unicasts: " << medium.stats().unicasts << "\n";
+  std::cout << "\nt=" << dyn.horizon << ": after failures and self-healing\n"
+            << "  live sensors: " << r.live_nodes << "\n"
+            << "  leave events observed: " << r.leaves << ", cone regrowths: " << r.regrows
+            << "\n"
+            << "  disruptions repaired: " << r.disruptions << " (unrepaired: " << r.unrepaired
+            << ")\n"
+            << "  field partitioned: "
+            << (r.partitioned ? "yes, at t=" + std::to_string(r.time_to_partition) : "no")
+            << "\n"
+            << "  connectivity == surviving G_R: " << (r.final_connectivity_ok ? "yes" : "NO")
+            << "\n"
+            << "  total broadcasts: " << r.channel.broadcasts
+            << ", unicasts: " << r.channel.unicasts << "\n";
 
-  graph::save_svg("sensor_field_topology.svg", topo, medium.positions(), field,
+  const geom::bbox field = geom::bbox::rect(spec.deploy.region_side, spec.deploy.region_side);
+  graph::save_svg("sensor_field_topology.svg", r.final_topology, r.final_positions, field,
                   {.node_labels = false, .title = "sensor field after failures"});
   std::cout << "wrote sensor_field_topology.svg\n";
-  return graph::same_connectivity(topo, gr) ? 0 : 1;
+  return r.final_connectivity_ok ? 0 : 1;
 }

@@ -1,0 +1,389 @@
+// engine::run_dynamic / run_lifetime — the dynamic-simulation layer.
+//
+// This file is the only place where the façade stands up the event
+// simulator, the shared medium, mobility drivers, the failure
+// injector, and the per-node Section 4 reconfiguration agents; benches
+// and examples describe dynamic workloads purely as scenario_spec +
+// sim_spec values.
+#include <cmath>
+#include <memory>
+#include <random>
+#include <utility>
+
+#include "api/engine.h"
+#include "geom/angle.h"
+#include "graph/euclidean.h"
+#include "graph/metrics.h"
+#include "graph/shortest_path.h"
+#include "graph/traversal.h"
+#include "proto/reconfig.h"
+#include "sim/failure.h"
+#include "sim/medium.h"
+#include "sim/mobility.h"
+#include "sim/simulator.h"
+
+namespace cbtc::api {
+namespace {
+
+/// Liveness-restricted view of the network at one instant.
+struct live_state {
+  graph::undirected_graph topology;  ///< live agents' symmetric neighbor closure
+  graph::undirected_graph gr;        ///< G_R induced on live nodes
+  std::vector<bool> up;
+  std::size_t live{0};
+};
+
+live_state capture_live_state(const sim::medium& medium,
+                              const std::vector<std::unique_ptr<proto::reconfig_agent>>& agents,
+                              double max_range) {
+  const std::size_t n = agents.size();
+  live_state s{graph::undirected_graph(n), graph::undirected_graph(n), std::vector<bool>(n), 0};
+  for (graph::node_id u = 0; u < n; ++u) {
+    s.up[u] = medium.is_up(u);
+    if (s.up[u]) ++s.live;
+  }
+  for (graph::node_id u = 0; u < n; ++u) {
+    if (!s.up[u]) continue;
+    for (const auto& [v, info] : agents[u]->cbtc().neighbors()) {
+      if (s.up[v]) s.topology.add_edge(u, v);
+    }
+  }
+  s.gr = graph::build_max_power_graph(medium.positions(), max_range).induced(s.up);
+  return s;
+}
+
+/// True when every live node sits in one component of `gr`.
+bool field_connected(const live_state& s) {
+  if (s.live <= 1) return true;
+  const graph::component_labels comps = graph::connected_components(s.gr);
+  graph::node_id first = graph::invalid_node;
+  for (graph::node_id u = 0; u < s.up.size(); ++u) {
+    if (!s.up[u]) continue;
+    if (first == graph::invalid_node) {
+      first = u;
+    } else if (!comps.same_component(u, first)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+dynamic_sample measure(const live_state& s, const std::vector<geom::vec2>& positions,
+                       double max_range, double t) {
+  dynamic_sample out;
+  out.t = t;
+  out.live_nodes = s.live;
+  out.edges = s.topology.num_edges();
+  out.avg_degree =
+      s.live == 0 ? 0.0 : 2.0 * static_cast<double>(out.edges) / static_cast<double>(s.live);
+  double radius_sum = 0.0;
+  for (graph::node_id u = 0; u < s.up.size(); ++u) {
+    if (s.up[u]) radius_sum += graph::node_radius(s.topology, positions, u, max_range);
+  }
+  out.avg_radius = s.live == 0 ? 0.0 : radius_sum / static_cast<double>(s.live);
+  out.connectivity_ok = graph::same_connectivity(s.topology, s.gr);
+  out.field_connected = field_connected(s);
+  return out;
+}
+
+bool alive_subgraph_connected(const graph::undirected_graph& g, const std::vector<bool>& alive) {
+  graph::undirected_graph live(g.num_nodes());
+  graph::node_id first_alive = graph::invalid_node;
+  std::size_t alive_count = 0;
+  for (graph::node_id u = 0; u < g.num_nodes(); ++u) {
+    if (alive[u]) {
+      ++alive_count;
+      if (first_alive == graph::invalid_node) first_alive = u;
+    }
+  }
+  if (alive_count <= 1) return true;
+  for (const graph::edge& e : g.edges()) {
+    if (alive[e.u] && alive[e.v]) live.add_edge(e.u, e.v);
+  }
+  const auto comps = graph::connected_components(live);
+  for (graph::node_id u = 0; u < g.num_nodes(); ++u) {
+    if (alive[u] && !comps.same_component(u, first_alive)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+dynamic_report engine::run_dynamic(const scenario_spec& spec, const sim_spec& sim_cfg,
+                                   std::uint64_t seed) const {
+  const std::vector<geom::vec2> positions = spec.make_positions(seed);
+  const radio::power_model pm = spec.power();
+  const std::uint64_t instance_seed = spec.base_seed + seed;
+
+  dynamic_report r;
+  r.seed = seed;
+  r.nodes = positions.size();
+
+  sim::simulator simulator;
+  sim::medium medium(simulator, pm, radio::channel(spec.protocol.channel, instance_seed),
+                     radio::direction_estimator(spec.protocol.direction_noise, instance_seed + 1));
+
+  proto::reconfig_config cfg;
+  cfg.agent = spec.protocol.agent;
+  cfg.agent.params = spec.cbtc;
+  cfg.agent.params.mode = algo::growth_mode::discrete;  // what deployed agents run
+  cfg.ndp.beacon_interval = sim_cfg.beacons.interval;
+  cfg.ndp.miss_limit = sim_cfg.beacons.miss_limit;
+  cfg.ndp.achange_threshold = sim_cfg.beacons.achange_threshold;
+  cfg.shrink_back = sim_cfg.beacons.shrink_back;
+
+  std::vector<std::unique_ptr<proto::reconfig_agent>> agents;
+  agents.reserve(positions.size());
+  for (const geom::vec2& p : positions) {
+    const graph::node_id id = medium.add_node(p, {});
+    agents.push_back(std::make_unique<proto::reconfig_agent>(medium, id, cfg));
+  }
+  for (auto& a : agents) a->start(sim_cfg.horizon);
+
+  // Failure schedule: random crashes drawn from the instance seed,
+  // plus any explicit events.
+  sim::failure_injector injector(medium, instance_seed ^ 0x8badf00ddeadbeefULL);
+  if (sim_cfg.failures.random_crashes > 0) {
+    injector.random_crashes(sim_cfg.failures.random_crashes, sim_cfg.failures.window_begin,
+                            sim_cfg.failures.window_end);
+  }
+  for (const failure_event& e : sim_cfg.failures.events) {
+    if (e.restart) {
+      injector.restart_at(e.node, e.time);
+    } else {
+      injector.crash_at(e.node, e.time);
+    }
+  }
+
+  // Mobility driver, armed at mobility.start via the event queue so
+  // the initial topology can settle before nodes move.
+  std::unique_ptr<sim::random_waypoint> waypoint;
+  std::unique_ptr<sim::bouncing_mobility> bouncing;
+  const mobility_spec& mob = sim_cfg.mobility;
+  const double move_until = mob.until > 0.0 ? mob.until : sim_cfg.horizon;
+  if (mob.kind == mobility_kind::random_waypoint) {
+    waypoint = std::make_unique<sim::random_waypoint>(
+        medium,
+        sim::waypoint_params{.region = spec.region(), .min_speed = mob.min_speed,
+                             .max_speed = mob.max_speed, .pause = mob.pause},
+        instance_seed ^ 0x5e5e5e5e0b0eULL);
+    simulator.schedule_at(mob.start, [&] { waypoint->start(mob.tick, move_until); });
+  } else if (mob.kind == mobility_kind::bouncing) {
+    std::mt19937_64 rng(instance_seed ^ 0xb0b0b0b0ULL);
+    std::uniform_real_distribution<double> speed(mob.min_speed, mob.max_speed);
+    std::uniform_real_distribution<double> heading(0.0, 2.0 * geom::pi);
+    std::vector<geom::vec2> velocities;
+    velocities.reserve(positions.size());
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      const double s = speed(rng);
+      const double a = heading(rng);
+      velocities.push_back({s * std::cos(a), s * std::sin(a)});
+    }
+    bouncing = std::make_unique<sim::bouncing_mobility>(medium, spec.region(),
+                                                        std::move(velocities));
+    simulator.schedule_at(mob.start, [&] { bouncing->start(mob.tick, move_until); });
+  }
+
+  // Sample at settle, every sample_every after that, and at the horizon.
+  double broken_since = -1.0;
+  double latency_sum = 0.0;
+  bool was_ok = false;  // disruptions are ok -> broken transitions only;
+                        // a topology still converging at `settle` is
+                        // reported via initial_connectivity_ok instead
+  live_state state;     // last captured state (reused for the final report)
+  const auto observe = [&](double t) {
+    state = capture_live_state(medium, agents, pm.max_range());
+    const dynamic_sample s = measure(state, medium.positions(), pm.max_range(), t);
+    if (!s.connectivity_ok && was_ok && broken_since < 0.0) broken_since = s.t;
+    if (s.connectivity_ok) was_ok = true;
+    if (s.connectivity_ok && broken_since >= 0.0) {
+      const double latency = s.t - broken_since;
+      ++r.disruptions;
+      latency_sum += latency;
+      r.repair_latency_max = std::max(r.repair_latency_max, latency);
+      broken_since = -1.0;
+    }
+    if (!r.partitioned && !s.field_connected) {
+      r.partitioned = true;
+      r.time_to_partition = s.t;
+    }
+    r.samples.push_back(s);
+  };
+
+  const double settle = std::min(sim_cfg.settle, sim_cfg.horizon);
+  simulator.run_until(settle);
+  observe(settle);
+  r.initial_connectivity_ok = r.samples.front().connectivity_ok;
+  r.initial_edges = r.samples.front().edges;
+
+  if (sim_cfg.horizon > settle) {
+    const double step =
+        sim_cfg.sample_every > 0.0 ? sim_cfg.sample_every : sim_cfg.horizon - settle;
+    for (double t = settle + step; t + 1e-9 < sim_cfg.horizon; t += step) {
+      simulator.run_until(t);
+      observe(t);
+    }
+    simulator.run_until(sim_cfg.horizon);
+    observe(sim_cfg.horizon);
+  }
+
+  if (broken_since >= 0.0) ++r.unrepaired;
+  if (!r.partitioned) r.time_to_partition = sim_cfg.horizon;
+  r.repair_latency_mean =
+      r.disruptions == 0 ? 0.0 : latency_sum / static_cast<double>(r.disruptions);
+
+  r.final_connectivity_ok = r.samples.back().connectivity_ok;
+  r.live_nodes = state.live;
+  r.final_topology = std::move(state.topology);
+  r.final_positions = medium.positions();
+  r.up = std::move(state.up);
+
+  for (const auto& a : agents) {
+    r.joins += a->stats().joins;
+    r.leaves += a->stats().leaves;
+    r.achanges += a->stats().achanges;
+    r.regrows += a->stats().regrows;
+    r.prunes += a->stats().prunes;
+    r.beacons += a->ndp().beacons_sent();
+  }
+  r.channel = medium.stats();
+  return r;
+}
+
+lifetime_report engine::run_lifetime(const scenario_spec& spec, const lifetime_spec& life,
+                                     std::uint64_t seed) const {
+  scenario_spec topo_spec = spec;
+  topo_spec.metrics = {.stretch = false, .interference = false, .robustness = false};
+  const run_report built = run(topo_spec, seed);
+
+  const std::vector<geom::vec2> positions = spec.make_positions(seed);
+  const radio::power_model pm = spec.power();
+  const graph::undirected_graph gr =
+      graph::build_max_power_graph(positions, pm.max_range());
+  const graph::undirected_graph& topology = built.topology;
+
+  const std::size_t n = positions.size();
+  const double battery = life.battery_rounds * pm.max_power();
+  std::vector<double> charge(n, battery);
+  std::vector<bool> alive(n, true);
+  std::mt19937_64 rng((spec.base_seed + seed) ^ 0x9e3779b97f4a7c15ULL);
+
+  // Beacon power: reach the farthest topology neighbor (nodes with no
+  // neighbors spend nothing — they have nobody to keep alive).
+  std::vector<double> beacon(n, 0.0);
+  for (graph::node_id u = 0; u < n; ++u) {
+    beacon[u] = std::pow(graph::node_radius(topology, positions, u, 0.0), pm.exponent());
+  }
+  const graph::edge_cost_fn cost = graph::power_cost(positions, pm.exponent());
+
+  lifetime_report res;
+  std::size_t deaths = 0;
+  graph::undirected_graph live = topology;
+  for (std::size_t round = 1; round <= life.max_rounds; ++round) {
+    for (graph::node_id u = 0; u < n; ++u) {
+      if (alive[u]) charge[u] -= beacon[u];
+    }
+    for (std::size_t f = 0; f < life.flows; ++f) {
+      const auto s = static_cast<graph::node_id>(rng() % n);
+      const auto t = static_cast<graph::node_id>(rng() % n);
+      if (s == t || !alive[s] || !alive[t]) continue;
+      const auto path = graph::bfs_path(live, s, t);
+      for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+        charge[path[h]] -= cost(path[h], path[h + 1]);
+      }
+    }
+    bool someone_died = false;
+    for (graph::node_id u = 0; u < n; ++u) {
+      if (alive[u] && charge[u] <= 0.0) {
+        alive[u] = false;
+        someone_died = true;
+        ++deaths;
+        if (res.first_death == 0.0) res.first_death = static_cast<double>(round);
+        const std::vector<graph::node_id> nbrs(live.neighbors(u).begin(),
+                                               live.neighbors(u).end());
+        for (graph::node_id v : nbrs) live.remove_edge(u, v);
+      }
+    }
+    if (res.quarter_dead == 0.0 && deaths * 4 >= n) {
+      res.quarter_dead = static_cast<double>(round);
+    }
+    if (someone_died && !alive_subgraph_connected(gr, alive)) {
+      res.field_partition = static_cast<double>(round);
+      break;
+    }
+  }
+  const auto cap = static_cast<double>(life.max_rounds);
+  if (res.first_death == 0.0) res.first_death = cap;
+  if (res.quarter_dead == 0.0) res.quarter_dead = cap;
+  if (res.field_partition == 0.0) res.field_partition = cap;
+  return res;
+}
+
+void dynamic_batch_report::accumulate(const dynamic_report& r) {
+  ++runs;
+  if (!r.initial_connectivity_ok) ++initial_connectivity_failures;
+  if (!r.final_connectivity_ok) ++final_connectivity_failures;
+  if (r.partitioned) ++partitioned_runs;
+  unrepaired_disruptions += r.unrepaired;
+  broadcasts.add(static_cast<double>(r.channel.broadcasts));
+  unicasts.add(static_cast<double>(r.channel.unicasts));
+  deliveries.add(static_cast<double>(r.channel.deliveries));
+  drops.add(static_cast<double>(r.channel.drops));
+  tx_energy.add(r.channel.tx_energy);
+  joins.add(static_cast<double>(r.joins));
+  leaves.add(static_cast<double>(r.leaves));
+  achanges.add(static_cast<double>(r.achanges));
+  regrows.add(static_cast<double>(r.regrows));
+  prunes.add(static_cast<double>(r.prunes));
+  beacons.add(static_cast<double>(r.beacons));
+  disruptions.add(static_cast<double>(r.disruptions));
+  // Runs that never broke carry no repair-latency information; folding
+  // their zeros in would bias the latency aggregates toward zero.
+  if (r.disruptions > 0) {
+    repair_latency.add(r.repair_latency_mean);
+    repair_latency_max.add(r.repair_latency_max);
+  }
+  time_to_partition.add(r.time_to_partition);
+  live_nodes.add(static_cast<double>(r.live_nodes));
+  if (!r.samples.empty()) {
+    const dynamic_sample& last = r.samples.back();
+    final_edges.add(static_cast<double>(last.edges));
+    final_degree.add(last.avg_degree);
+    final_radius.add(last.avg_radius);
+  }
+}
+
+void dynamic_batch_report::merge(const dynamic_batch_report& other) {
+  runs += other.runs;
+  initial_connectivity_failures += other.initial_connectivity_failures;
+  final_connectivity_failures += other.final_connectivity_failures;
+  partitioned_runs += other.partitioned_runs;
+  unrepaired_disruptions += other.unrepaired_disruptions;
+  broadcasts.merge(other.broadcasts);
+  unicasts.merge(other.unicasts);
+  deliveries.merge(other.deliveries);
+  drops.merge(other.drops);
+  tx_energy.merge(other.tx_energy);
+  joins.merge(other.joins);
+  leaves.merge(other.leaves);
+  achanges.merge(other.achanges);
+  regrows.merge(other.regrows);
+  prunes.merge(other.prunes);
+  beacons.merge(other.beacons);
+  disruptions.merge(other.disruptions);
+  repair_latency.merge(other.repair_latency);
+  repair_latency_max.merge(other.repair_latency_max);
+  time_to_partition.merge(other.time_to_partition);
+  final_edges.merge(other.final_edges);
+  final_degree.merge(other.final_degree);
+  final_radius.merge(other.final_radius);
+  live_nodes.merge(other.live_nodes);
+}
+
+dynamic_batch_report reduce(std::span<const dynamic_report> reports) {
+  dynamic_batch_report b;
+  for (const dynamic_report& r : reports) b.accumulate(r);
+  return b;
+}
+
+}  // namespace cbtc::api

@@ -38,6 +38,66 @@ graph::undirected_graph build_baseline(const method_spec& m,
   throw std::logic_error("engine: unknown baseline kind");
 }
 
+/// Seeds per streaming partial. Fixed — independent of the thread
+/// count — so the block structure, and hence the block-ordered merge,
+/// is bitwise identical no matter how many threads ran the batch.
+constexpr std::uint64_t seed_block = 16;
+
+/// Streams a seed range into `Batch` aggregates: workers claim whole
+/// seed blocks, fold each run into the block's partial as soon as it
+/// finishes (the report is dropped immediately — peak memory is one
+/// in-flight report per thread plus the partials), and the partials
+/// merge in block order at the end.
+template <class Batch, class RunOne>
+Batch stream_batch(seed_range seeds, unsigned num_threads, const RunOne& run_one) {
+  Batch total;
+  const std::uint64_t n = seeds.count;
+  if (n == 0) return total;
+  const std::uint64_t blocks = (n + seed_block - 1) / seed_block;
+  std::vector<Batch> partials(static_cast<std::size_t>(blocks));
+
+  const auto run_block = [&](std::uint64_t b) {
+    Batch& partial = partials[static_cast<std::size_t>(b)];
+    const std::uint64_t hi = std::min(n, (b + 1) * seed_block);
+    for (std::uint64_t i = b * seed_block; i < hi; ++i) {
+      partial.accumulate(run_one(seeds.first + i));
+    }
+  };
+
+  unsigned threads = num_threads != 0 ? num_threads : std::thread::hardware_concurrency();
+  threads = std::clamp<unsigned>(threads, 1,
+                                 static_cast<unsigned>(std::min<std::uint64_t>(blocks, 1024)));
+  if (threads == 1) {
+    for (std::uint64_t b = 0; b < blocks; ++b) run_block(b);
+  } else {
+    std::atomic<std::uint64_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    const auto worker = [&] {
+      for (;;) {
+        const std::uint64_t b = next.fetch_add(1, std::memory_order_relaxed);
+        if (b >= blocks) return;
+        try {
+          run_block(b);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+          next.store(blocks, std::memory_order_relaxed);  // stop handing out work
+          return;
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+    if (error) std::rethrow_exception(error);
+  }
+
+  for (const Batch& p : partials) total.merge(p);
+  return total;
+}
+
 }  // namespace
 
 run_report engine::run(const scenario_spec& spec, std::uint64_t seed) const {
@@ -119,10 +179,14 @@ run_report engine::run(const scenario_spec& spec, std::uint64_t seed) const {
   r.invariants = algo::check_invariants(r.topology, positions, R);
 
   if (spec.metrics.stretch) {
-    r.power_stretch =
-        graph::power_stretch(r.topology, gr, positions, pm.exponent(), spec.metrics.stretch_samples)
-            .mean;
-    r.hop_stretch = graph::hop_stretch(r.topology, gr, spec.metrics.stretch_samples).mean;
+    const graph::stretch_stats ps =
+        graph::power_stretch(r.topology, gr, positions, pm.exponent(), spec.metrics.stretch_samples);
+    r.power_stretch = ps.mean;
+    r.power_stretch_max = ps.max;
+    const graph::stretch_stats hs =
+        graph::hop_stretch(r.topology, gr, spec.metrics.stretch_samples);
+    r.hop_stretch = hs.mean;
+    r.hop_stretch_max = hs.max;
   }
   if (spec.metrics.interference) {
     const graph::interference_stats s = graph::topology_interference(r.topology, positions);
@@ -175,35 +239,67 @@ std::vector<run_report> engine::run_all(const scenario_spec& spec, seed_range se
 
 batch_report engine::run_batch(const scenario_spec& spec, seed_range seeds,
                                unsigned num_threads) const {
-  const std::vector<run_report> reports = run_all(spec, seeds, num_threads);
-  return reduce(reports);
+  return stream_batch<batch_report>(seeds, num_threads,
+                                    [&](std::uint64_t seed) { return run(spec, seed); });
+}
+
+dynamic_batch_report engine::run_batch(const scenario_spec& spec, const sim_spec& sim,
+                                       seed_range seeds, unsigned num_threads) const {
+  return stream_batch<dynamic_batch_report>(
+      seeds, num_threads, [&](std::uint64_t seed) { return run_dynamic(spec, sim, seed); });
+}
+
+void batch_report::accumulate(const run_report& r) {
+  ++runs;
+  if (!r.connectivity_preserved()) ++connectivity_failures;
+  edges.add(static_cast<double>(r.edges));
+  degree.add(r.avg_degree);
+  radius.add(r.avg_radius);
+  max_radius.add(r.max_radius);
+  tx_power.add(r.avg_power);
+  boundary.add(static_cast<double>(r.boundary_nodes));
+  power_stretch.add(r.power_stretch);
+  power_stretch_max.add(r.power_stretch_max);
+  hop_stretch.add(r.hop_stretch);
+  hop_stretch_max.add(r.hop_stretch_max);
+  interference.add(r.interference_mean);
+  cut_vertices.add(static_cast<double>(r.cut_vertices));
+  removed_edges.add(static_cast<double>(r.removed_edges));
+  if (r.has_protocol_stats) {
+    has_protocol_stats = true;
+    messages.add(static_cast<double>(r.protocol_stats.broadcasts + r.protocol_stats.unicasts));
+    deliveries.add(static_cast<double>(r.protocol_stats.deliveries));
+    tx_energy.add(r.protocol_stats.tx_energy);
+    completion_time.add(r.completion_time);
+  }
+}
+
+void batch_report::merge(const batch_report& other) {
+  runs += other.runs;
+  connectivity_failures += other.connectivity_failures;
+  edges.merge(other.edges);
+  degree.merge(other.degree);
+  radius.merge(other.radius);
+  max_radius.merge(other.max_radius);
+  tx_power.merge(other.tx_power);
+  boundary.merge(other.boundary);
+  power_stretch.merge(other.power_stretch);
+  power_stretch_max.merge(other.power_stretch_max);
+  hop_stretch.merge(other.hop_stretch);
+  hop_stretch_max.merge(other.hop_stretch_max);
+  interference.merge(other.interference);
+  cut_vertices.merge(other.cut_vertices);
+  removed_edges.merge(other.removed_edges);
+  has_protocol_stats = has_protocol_stats || other.has_protocol_stats;
+  messages.merge(other.messages);
+  deliveries.merge(other.deliveries);
+  tx_energy.merge(other.tx_energy);
+  completion_time.merge(other.completion_time);
 }
 
 batch_report reduce(std::span<const run_report> reports) {
   batch_report b;
-  for (const run_report& r : reports) {
-    ++b.runs;
-    if (!r.connectivity_preserved()) ++b.connectivity_failures;
-    b.edges.add(static_cast<double>(r.edges));
-    b.degree.add(r.avg_degree);
-    b.radius.add(r.avg_radius);
-    b.max_radius.add(r.max_radius);
-    b.tx_power.add(r.avg_power);
-    b.boundary.add(static_cast<double>(r.boundary_nodes));
-    b.power_stretch.add(r.power_stretch);
-    b.hop_stretch.add(r.hop_stretch);
-    b.interference.add(r.interference_mean);
-    b.cut_vertices.add(static_cast<double>(r.cut_vertices));
-    b.removed_edges.add(static_cast<double>(r.removed_edges));
-    if (r.has_protocol_stats) {
-      b.has_protocol_stats = true;
-      b.messages.add(
-          static_cast<double>(r.protocol_stats.broadcasts + r.protocol_stats.unicasts));
-      b.deliveries.add(static_cast<double>(r.protocol_stats.deliveries));
-      b.tx_energy.add(r.protocol_stats.tx_energy);
-      b.completion_time.add(r.completion_time);
-    }
-  }
+  for (const run_report& r : reports) b.accumulate(r);
   return b;
 }
 

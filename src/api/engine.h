@@ -5,10 +5,21 @@
 // protocol on the event simulator, or a position-based baseline),
 // apply the optimizations, and measure every requested metric.
 //
-// `engine::run_batch` fans a seed range across a thread pool (each
-// instance is an independent, pure computation) and reduces the
-// per-seed reports in seed order, so the aggregate statistics are
-// bitwise identical regardless of `num_threads`.
+// `engine::run_dynamic` composes a scenario with a sim_spec and plays
+// the full Section 4 model: per-node reconfiguration agents (CBTC +
+// NDP beaconing + the join/leave/aChange rules) on the event
+// simulator, with mobility drivers and crash/restart injection, and
+// periodic metric sampling into a dynamic_report.
+//
+// `engine::run_lifetime` runs the battery-attrition experiment of the
+// paper's Discussion over the scenario's topology.
+//
+// The batch entry points fan a seed range across a thread pool (each
+// instance is an independent, pure computation) and reduce reports
+// into fixed-size seed-block partials that are merged in block order,
+// so the aggregate statistics are bitwise identical regardless of
+// `num_threads` and peak memory is bounded by the block partials, not
+// the seed count.
 #pragma once
 
 #include <cstdint>
@@ -16,8 +27,17 @@
 
 #include "api/report.h"
 #include "api/scenario.h"
+#include "api/sim_spec.h"
 
 namespace cbtc::api {
+
+/// Rounds until first death / 25% dead / the survivors' max-power
+/// graph partitions (capped at lifetime_spec::max_rounds).
+struct lifetime_report {
+  double first_death{0.0};
+  double quarter_dead{0.0};
+  double field_partition{0.0};
+};
 
 class engine {
  public:
@@ -33,9 +53,25 @@ class engine {
   [[nodiscard]] std::vector<run_report> run_all(const scenario_spec& spec, seed_range seeds,
                                                 unsigned num_threads = 0) const;
 
-  /// run_all + deterministic reduction into aggregate statistics.
+  /// Streaming multi-seed reduction into aggregate statistics (memory
+  /// bounded by seed-block partials; see the header comment).
   [[nodiscard]] batch_report run_batch(const scenario_spec& spec, seed_range seeds,
                                        unsigned num_threads = 0) const;
+
+  /// Runs one dynamic (churn / mobility) instance of the scenario.
+  [[nodiscard]] dynamic_report run_dynamic(const scenario_spec& spec, const sim_spec& sim,
+                                           std::uint64_t seed = 0) const;
+
+  /// Streaming multi-seed dynamic batch (same determinism and memory
+  /// guarantees as the static overload).
+  [[nodiscard]] dynamic_batch_report run_batch(const scenario_spec& spec, const sim_spec& sim,
+                                               seed_range seeds, unsigned num_threads = 0) const;
+
+  /// Runs the battery-attrition lifetime experiment on instance `seed`:
+  /// builds the scenario's topology, then drains batteries round by
+  /// round (beacons + routed flows) until the field partitions.
+  [[nodiscard]] lifetime_report run_lifetime(const scenario_spec& spec, const lifetime_spec& life,
+                                             std::uint64_t seed = 0) const;
 };
 
 }  // namespace cbtc::api

@@ -7,8 +7,14 @@
 // distributed method ran.
 //
 // `batch_report` reduces many run_reports into exp::summary aggregates.
-// The reduction is sequential in seed order, so it is bitwise
-// deterministic no matter how many threads produced the runs.
+// Reduction is streamed: seeds are accumulated into fixed-size seed
+// blocks (in seed order within a block) and the block partials are
+// merged in block order, so aggregates are bitwise deterministic no
+// matter how many threads produced the runs — without ever holding
+// every run_report alive.
+//
+// `dynamic_report` / `dynamic_batch_report` are the equivalents for
+// dynamic (churn / mobility) simulations driven by a sim_spec.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +24,7 @@
 #include "algo/analysis.h"
 #include "algo/oracle.h"
 #include "exp/stats.h"
+#include "geom/vec2.h"
 #include "graph/graph.h"
 #include "sim/medium.h"
 
@@ -52,8 +59,10 @@ struct run_report {
   algo::invariant_report invariants;
 
   // -- optional metrics (see metric_options) ------------------------
-  double power_stretch{1.0};
+  double power_stretch{1.0};      ///< mean over sampled pairs
+  double power_stretch_max{1.0};  ///< worst sampled pair
   double hop_stretch{1.0};
+  double hop_stretch_max{1.0};
   double interference_mean{0.0};
   std::size_t interference_max{0};
   std::size_t cut_vertices{0};
@@ -80,7 +89,9 @@ struct batch_report {
   exp::summary tx_power;
   exp::summary boundary;
   exp::summary power_stretch;
+  exp::summary power_stretch_max;
   exp::summary hop_stretch;
+  exp::summary hop_stretch_max;
   exp::summary interference;
   exp::summary cut_vertices;
   exp::summary removed_edges;
@@ -96,10 +107,117 @@ struct batch_report {
                      : static_cast<double>(runs - connectivity_failures) /
                            static_cast<double>(runs);
   }
+
+  /// Folds one run into the aggregates (streaming reduction step).
+  void accumulate(const run_report& r);
+  /// Appends another partial's aggregates (callers merge partials in
+  /// seed-block order for determinism).
+  void merge(const batch_report& other);
 };
 
 /// Reduces per-seed reports (in the order given — callers pass seed
 /// order for determinism) into aggregate statistics.
 [[nodiscard]] batch_report reduce(std::span<const run_report> reports);
+
+// ---- dynamic simulation reports ------------------------------------
+
+/// One metric sample of a dynamic run, taken at sim time `t`.
+struct dynamic_sample {
+  double t{0.0};
+  std::size_t live_nodes{0};
+  std::size_t edges{0};            ///< live-topology edges
+  double avg_degree{0.0};
+  double avg_radius{0.0};
+  /// Live topology preserves the connectivity of the survivors' G_R.
+  bool connectivity_ok{false};
+  /// The survivors' G_R itself is one component (no unfixable split).
+  bool field_connected{true};
+};
+
+/// Outcome of one dynamic (churn / mobility) simulation instance.
+struct dynamic_report {
+  std::uint64_t seed{0};
+  std::size_t nodes{0};
+
+  // -- initial topology (at sim_spec::settle) -----------------------
+  bool initial_connectivity_ok{false};
+  std::size_t initial_edges{0};
+
+  // -- final state (at the horizon) ---------------------------------
+  bool final_connectivity_ok{false};
+  std::size_t live_nodes{0};
+  graph::undirected_graph final_topology;  ///< live nodes + live edges
+  std::vector<geom::vec2> final_positions;
+  std::vector<bool> up;                    ///< liveness per node
+
+  // -- reconfiguration event counters (summed over agents) ----------
+  std::uint64_t joins{0};
+  std::uint64_t leaves{0};
+  std::uint64_t achanges{0};
+  std::uint64_t regrows{0};
+  std::uint64_t prunes{0};
+  std::uint64_t beacons{0};
+
+  // -- channel costs over the whole run -----------------------------
+  sim::medium_stats channel{};
+
+  // -- topology-repair latency --------------------------------------
+  // A disruption starts when a sample sees connectivity_ok flip false
+  // and ends at the first later sample where it holds again; latency
+  // resolution is sim_spec::sample_every.
+  std::size_t disruptions{0};        ///< repaired disruptions
+  std::size_t unrepaired{0};         ///< still broken at the horizon
+  double repair_latency_mean{0.0};   ///< over repaired disruptions
+  double repair_latency_max{0.0};
+
+  // -- lifetime to partition ----------------------------------------
+  /// First sample time where the survivors' G_R is split (horizon if
+  /// it never splits — check `partitioned`).
+  double time_to_partition{0.0};
+  bool partitioned{false};
+
+  std::vector<dynamic_sample> samples;
+};
+
+/// Aggregates over a batch of dynamic runs.
+struct dynamic_batch_report {
+  std::size_t runs{0};
+  std::size_t initial_connectivity_failures{0};
+  std::size_t final_connectivity_failures{0};
+  std::size_t partitioned_runs{0};
+  std::size_t unrepaired_disruptions{0};
+
+  exp::summary broadcasts;
+  exp::summary unicasts;
+  exp::summary deliveries;
+  exp::summary drops;
+  exp::summary tx_energy;
+  exp::summary joins;
+  exp::summary leaves;
+  exp::summary achanges;
+  exp::summary regrows;
+  exp::summary prunes;
+  exp::summary beacons;
+  exp::summary disruptions;
+  exp::summary repair_latency;      ///< per-run means
+  exp::summary repair_latency_max;  ///< per-run maxima
+  exp::summary time_to_partition;
+  exp::summary final_edges;
+  exp::summary final_degree;
+  exp::summary final_radius;
+  exp::summary live_nodes;
+
+  [[nodiscard]] double final_preserved_fraction() const {
+    return runs == 0 ? 1.0
+                     : static_cast<double>(runs - final_connectivity_failures) /
+                           static_cast<double>(runs);
+  }
+
+  void accumulate(const dynamic_report& r);
+  void merge(const dynamic_batch_report& other);
+};
+
+/// Reduces dynamic reports (in the order given) into aggregates.
+[[nodiscard]] dynamic_batch_report reduce(std::span<const dynamic_report> reports);
 
 }  // namespace cbtc::api

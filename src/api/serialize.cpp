@@ -1,0 +1,759 @@
+#include "api/serialize.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cbtc::api {
+namespace {
+
+// ---- a minimal JSON document model ---------------------------------
+// No external dependency: the grammar we need (objects, arrays,
+// numbers, strings, booleans) fits in a small recursive descent
+// parser, and a document tree keeps the writer and parser symmetric.
+
+struct jv {
+  enum class kind { null, boolean, number, string, array, object };
+
+  kind k{kind::null};
+  bool b{false};
+  double num{0.0};
+  std::string raw;  // number literal as written (exact u64 round-trip)
+  std::string str;
+  std::vector<jv> items;
+  std::vector<std::pair<std::string, jv>> fields;
+
+  static jv of(bool v) {
+    jv j;
+    j.k = kind::boolean;
+    j.b = v;
+    return j;
+  }
+  static jv of(double v) {
+    if (!std::isfinite(v)) {
+      // JSON has no inf/nan; writing one would produce a file the
+      // parser (and every other JSON tool) rejects.
+      throw std::invalid_argument("scenario JSON: cannot serialize non-finite number");
+    }
+    jv j;
+    j.k = kind::number;
+    j.num = v;
+    char buf[32];
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    j.raw.assign(buf, end);
+    return j;
+  }
+  static jv of_u64(std::uint64_t v) {
+    jv j;
+    j.k = kind::number;
+    j.num = static_cast<double>(v);
+    j.raw = std::to_string(v);
+    return j;
+  }
+  static jv of(std::string v) {
+    jv j;
+    j.k = kind::string;
+    j.str = std::move(v);
+    return j;
+  }
+  // Without this, string literals would silently decay to the bool
+  // overload.
+  static jv of(const char* v) { return of(std::string(v)); }
+  static jv array() {
+    jv j;
+    j.k = kind::array;
+    return j;
+  }
+  static jv object() {
+    jv j;
+    j.k = kind::object;
+    return j;
+  }
+
+  jv& add(std::string key, jv value) {
+    fields.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+};
+
+// ---- writer --------------------------------------------------------
+
+void write_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_value(std::ostream& os, const jv& v, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string inner(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  switch (v.k) {
+    case jv::kind::null:
+      os << "null";
+      return;
+    case jv::kind::boolean:
+      os << (v.b ? "true" : "false");
+      return;
+    case jv::kind::number:
+      os << v.raw;
+      return;
+    case jv::kind::string:
+      write_string(os, v.str);
+      return;
+    case jv::kind::array: {
+      if (v.items.empty()) {
+        os << "[]";
+        return;
+      }
+      // Arrays of scalars stay on one line (position pairs, windows).
+      bool scalars = true;
+      for (const jv& e : v.items) {
+        if (e.k == jv::kind::object || e.k == jv::kind::array) scalars = false;
+      }
+      if (scalars) {
+        os << '[';
+        for (std::size_t i = 0; i < v.items.size(); ++i) {
+          if (i != 0) os << ", ";
+          write_value(os, v.items[i], indent);
+        }
+        os << ']';
+        return;
+      }
+      os << "[\n";
+      for (std::size_t i = 0; i < v.items.size(); ++i) {
+        os << inner;
+        write_value(os, v.items[i], indent + 1);
+        if (i + 1 != v.items.size()) os << ',';
+        os << '\n';
+      }
+      os << pad << ']';
+      return;
+    }
+    case jv::kind::object: {
+      if (v.fields.empty()) {
+        os << "{}";
+        return;
+      }
+      os << "{\n";
+      for (std::size_t i = 0; i < v.fields.size(); ++i) {
+        os << inner;
+        write_string(os, v.fields[i].first);
+        os << ": ";
+        write_value(os, v.fields[i].second, indent + 1);
+        if (i + 1 != v.fields.size()) os << ',';
+        os << '\n';
+      }
+      os << pad << '}';
+      return;
+    }
+  }
+}
+
+// ---- parser --------------------------------------------------------
+
+struct parser {
+  std::string_view s;
+  std::size_t pos{0};
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("scenario JSON, offset " + std::to_string(pos) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos < s.size() &&
+           (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' || s[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos >= s.size()) fail("unexpected end of input");
+    return s[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "', got '" + s[pos] + "'");
+    ++pos;
+  }
+
+  bool consume(char c) {
+    if (pos < s.size() && peek() == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (s.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos < s.size() && s[pos] != '"') {
+      char c = s[pos++];
+      if (c == '\\') {
+        if (pos >= s.size()) fail("unterminated escape");
+        switch (s[pos++]) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: fail("unsupported escape sequence");
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos >= s.size()) fail("unterminated string");
+    ++pos;  // closing quote
+    return out;
+  }
+
+  jv parse_number() {
+    const std::size_t start = pos;
+    if (pos < s.size() && (s[pos] == '-' || s[pos] == '+')) ++pos;
+    while (pos < s.size() && (std::isdigit(static_cast<unsigned char>(s[pos])) != 0 ||
+                              s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' || s[pos] == '-' ||
+                              s[pos] == '+')) {
+      ++pos;
+    }
+    jv j;
+    j.k = jv::kind::number;
+    j.raw = std::string(s.substr(start, pos - start));
+    const auto [end, ec] =
+        std::from_chars(j.raw.data(), j.raw.data() + j.raw.size(), j.num);
+    if (ec != std::errc{} || end != j.raw.data() + j.raw.size()) {
+      pos = start;
+      fail("malformed number '" + j.raw + "'");
+    }
+    return j;
+  }
+
+  jv parse_value() {
+    const char c = peek();
+    if (c == '{') {
+      jv obj = jv::object();
+      ++pos;
+      if (consume('}')) return obj;
+      for (;;) {
+        skip_ws();
+        std::string key = parse_string();
+        expect(':');
+        obj.fields.emplace_back(std::move(key), parse_value());
+        if (consume(',')) continue;
+        expect('}');
+        return obj;
+      }
+    }
+    if (c == '[') {
+      jv arr = jv::array();
+      ++pos;
+      if (consume(']')) return arr;
+      for (;;) {
+        arr.items.push_back(parse_value());
+        if (consume(',')) continue;
+        expect(']');
+        return arr;
+      }
+    }
+    if (c == '"') return jv::of(parse_string());
+    if (c == 't') {
+      if (!literal("true")) fail("expected 'true'");
+      return jv::of(true);
+    }
+    if (c == 'f') {
+      if (!literal("false")) fail("expected 'false'");
+      return jv::of(false);
+    }
+    if (c == 'n') {
+      if (!literal("null")) fail("expected 'null'");
+      return jv{};
+    }
+    return parse_number();
+  }
+};
+
+// ---- object field access (strict: unknown keys are errors) ---------
+
+const jv* get(const jv& obj, std::string_view key) {
+  for (const auto& [k, v] : obj.fields) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void check_keys(const jv& obj, const char* where,
+                std::initializer_list<std::string_view> allowed) {
+  for (const auto& [k, v] : obj.fields) {
+    bool known = false;
+    for (const std::string_view a : allowed) {
+      if (k == a) known = true;
+    }
+    if (!known) {
+      throw std::invalid_argument(std::string("scenario JSON: unknown key \"") + k + "\" in " +
+                                  where);
+    }
+  }
+}
+
+void require(bool cond, const std::string& what) {
+  if (!cond) throw std::invalid_argument("scenario JSON: " + what);
+}
+
+double get_num(const jv& obj, std::string_view key, double fallback) {
+  const jv* v = get(obj, key);
+  if (v == nullptr) return fallback;
+  require(v->k == jv::kind::number, std::string(key) + " must be a number");
+  return v->num;
+}
+
+std::uint64_t get_u64(const jv& obj, std::string_view key, std::uint64_t fallback) {
+  const jv* v = get(obj, key);
+  if (v == nullptr) return fallback;
+  require(v->k == jv::kind::number, std::string(key) + " must be a number");
+  std::uint64_t out = 0;
+  const auto [end, ec] = std::from_chars(v->raw.data(), v->raw.data() + v->raw.size(), out);
+  if (ec != std::errc{} || end != v->raw.data() + v->raw.size()) {
+    // Not a plain integer literal; accept other spellings of an exact
+    // non-negative integer (e.g. 1e3) but reject fractions like 2.5
+    // instead of silently truncating them.
+    require(v->num >= 0.0 && v->num == std::floor(v->num),
+            std::string(key) + " must be a non-negative integer");
+    out = static_cast<std::uint64_t>(v->num);
+  }
+  return out;
+}
+
+std::size_t get_count(const jv& obj, std::string_view key, std::size_t fallback) {
+  return static_cast<std::size_t>(get_u64(obj, key, fallback));
+}
+
+bool get_bool(const jv& obj, std::string_view key, bool fallback) {
+  const jv* v = get(obj, key);
+  if (v == nullptr) return fallback;
+  require(v->k == jv::kind::boolean, std::string(key) + " must be true or false");
+  return v->b;
+}
+
+std::string get_str(const jv& obj, std::string_view key, std::string fallback) {
+  const jv* v = get(obj, key);
+  if (v == nullptr) return fallback;
+  require(v->k == jv::kind::string, std::string(key) + " must be a string");
+  return v->str;
+}
+
+// ---- enum names ----------------------------------------------------
+
+std::string deployment_name(deployment_kind k) {
+  switch (k) {
+    case deployment_kind::uniform: return "uniform";
+    case deployment_kind::cluster: return "cluster";
+    case deployment_kind::grid: return "grid";
+    case deployment_kind::fixed: return "fixed";
+  }
+  return "uniform";
+}
+
+deployment_kind parse_deployment(const std::string& name) {
+  if (name == "uniform") return deployment_kind::uniform;
+  if (name == "cluster") return deployment_kind::cluster;
+  if (name == "grid") return deployment_kind::grid;
+  if (name == "fixed") return deployment_kind::fixed;
+  throw std::invalid_argument("scenario JSON: unknown deployment kind '" + name + "'");
+}
+
+std::string mobility_name(mobility_kind k) {
+  switch (k) {
+    case mobility_kind::none: return "none";
+    case mobility_kind::random_waypoint: return "random_waypoint";
+    case mobility_kind::bouncing: return "bouncing";
+  }
+  return "none";
+}
+
+mobility_kind parse_mobility(const std::string& name) {
+  if (name == "none") return mobility_kind::none;
+  if (name == "random_waypoint") return mobility_kind::random_waypoint;
+  if (name == "bouncing") return mobility_kind::bouncing;
+  throw std::invalid_argument("scenario JSON: unknown mobility kind '" + name + "'");
+}
+
+// ---- scenario_spec <-> jv ------------------------------------------
+
+jv deployment_to_jv(const deployment_spec& d) {
+  jv o = jv::object();
+  o.add("kind", jv::of(deployment_name(d.kind)));
+  o.add("nodes", jv::of_u64(d.nodes));
+  o.add("region_side", jv::of(d.region_side));
+  o.add("clusters", jv::of_u64(d.clusters));
+  o.add("cluster_sigma", jv::of(d.cluster_sigma));
+  o.add("grid_jitter", jv::of(d.grid_jitter));
+  if (d.kind == deployment_kind::fixed) {
+    jv pts = jv::array();
+    for (const geom::vec2& p : d.fixed) {
+      jv pair = jv::array();
+      pair.items.push_back(jv::of(p.x));
+      pair.items.push_back(jv::of(p.y));
+      pts.items.push_back(std::move(pair));
+    }
+    o.add("positions", std::move(pts));
+  }
+  return o;
+}
+
+deployment_spec deployment_from_jv(const jv& o) {
+  check_keys(o, "deployment", {"kind", "nodes", "region_side", "clusters", "cluster_sigma",
+                               "grid_jitter", "positions"});
+  deployment_spec d;
+  d.kind = parse_deployment(get_str(o, "kind", "uniform"));
+  d.nodes = get_count(o, "nodes", d.nodes);
+  d.region_side = get_num(o, "region_side", d.region_side);
+  d.clusters = get_count(o, "clusters", d.clusters);
+  d.cluster_sigma = get_num(o, "cluster_sigma", d.cluster_sigma);
+  d.grid_jitter = get_num(o, "grid_jitter", d.grid_jitter);
+  if (const jv* pts = get(o, "positions")) {
+    require(d.kind == deployment_kind::fixed,
+            "positions are only valid for deployment kind \"fixed\"");
+    require(pts->k == jv::kind::array, "positions must be an array of [x, y] pairs");
+    for (const jv& pair : pts->items) {
+      require(pair.k == jv::kind::array && pair.items.size() == 2 &&
+                  pair.items[0].k == jv::kind::number && pair.items[1].k == jv::kind::number,
+              "each position must be an [x, y] number pair");
+      d.fixed.push_back({pair.items[0].num, pair.items[1].num});
+    }
+    if (d.kind == deployment_kind::fixed) d.nodes = d.fixed.size();
+  }
+  require(d.kind != deployment_kind::fixed || !d.fixed.empty(),
+          "fixed deployment needs a non-empty positions array");
+  return d;
+}
+
+jv method_to_jv(const method_spec& m) {
+  jv o = jv::object();
+  o.add("name", jv::of(method_name(m)));
+  if (m.k == method_spec::kind::baseline && m.baseline == baseline_kind::yao) {
+    o.add("yao_cones", jv::of_u64(m.yao_cones));
+  }
+  if (m.k == method_spec::kind::baseline && m.baseline == baseline_kind::knn) {
+    o.add("knn_k", jv::of_u64(m.knn_k));
+  }
+  return o;
+}
+
+method_spec method_from_jv(const jv& v) {
+  if (v.k == jv::kind::string) return parse_method(v.str);
+  require(v.k == jv::kind::object, "method must be a name or an object");
+  check_keys(v, "method", {"name", "yao_cones", "knn_k"});
+  method_spec m = parse_method(get_str(v, "name", "oracle"));
+  m.yao_cones = get_count(v, "yao_cones", m.yao_cones);
+  m.knn_k = get_count(v, "knn_k", m.knn_k);
+  return m;
+}
+
+jv scenario_to_jv(const scenario_spec& s) {
+  jv o = jv::object();
+  o.add("name", jv::of(s.name));
+  o.add("deployment", deployment_to_jv(s.deploy));
+  {
+    jv radio = jv::object();
+    radio.add("path_loss_exponent", jv::of(s.radio.path_loss_exponent));
+    radio.add("max_range", jv::of(s.radio.max_range));
+    o.add("radio", std::move(radio));
+  }
+  o.add("method", method_to_jv(s.method));
+  {
+    jv cbtc = jv::object();
+    cbtc.add("alpha", jv::of(s.cbtc.alpha));
+    cbtc.add("mode", jv::of(std::string(
+                         s.cbtc.mode == algo::growth_mode::continuous ? "continuous" : "discrete")));
+    cbtc.add("initial_power", jv::of(s.cbtc.initial_power));
+    cbtc.add("increase_factor", jv::of(s.cbtc.increase_factor));
+    o.add("cbtc", std::move(cbtc));
+  }
+  {
+    jv opts = jv::object();
+    opts.add("shrink_back", jv::of(s.opts.shrink_back));
+    opts.add("asymmetric_removal", jv::of(s.opts.asymmetric_removal));
+    opts.add("pairwise_removal", jv::of(s.opts.pairwise_removal));
+    o.add("optimizations", std::move(opts));
+  }
+  {
+    jv proto = jv::object();
+    proto.add("round_timeout", jv::of(s.protocol.agent.round_timeout));
+    proto.add("reply_margin", jv::of(s.protocol.agent.reply_margin));
+    proto.add("retries_per_level", jv::of_u64(s.protocol.agent.retries_per_level));
+    proto.add("direction_noise", jv::of(s.protocol.direction_noise));
+    proto.add("max_events", jv::of_u64(s.protocol.max_events));
+    jv ch = jv::object();
+    ch.add("drop_prob", jv::of(s.protocol.channel.drop_prob));
+    ch.add("dup_prob", jv::of(s.protocol.channel.dup_prob));
+    ch.add("base_delay", jv::of(s.protocol.channel.base_delay));
+    ch.add("delay_per_unit", jv::of(s.protocol.channel.delay_per_unit));
+    ch.add("jitter_max", jv::of(s.protocol.channel.jitter_max));
+    proto.add("channel", std::move(ch));
+    o.add("protocol", std::move(proto));
+  }
+  o.add("base_seed", jv::of_u64(s.base_seed));
+  {
+    jv metrics = jv::object();
+    metrics.add("stretch", jv::of(s.metrics.stretch));
+    metrics.add("stretch_samples", jv::of_u64(s.metrics.stretch_samples));
+    metrics.add("interference", jv::of(s.metrics.interference));
+    metrics.add("robustness", jv::of(s.metrics.robustness));
+    o.add("metrics", std::move(metrics));
+  }
+  {
+    jv post = jv::object();
+    post.add("bridge_augmentation", jv::of(s.post.bridge_augmentation));
+    o.add("post", std::move(post));
+  }
+  return o;
+}
+
+scenario_spec scenario_from_jv(const jv& o) {
+  check_keys(o, "scenario", {"name", "deployment", "radio", "method", "cbtc", "optimizations",
+                             "protocol", "base_seed", "metrics", "post"});
+  scenario_spec s;
+  s.name = get_str(o, "name", s.name);
+  if (const jv* d = get(o, "deployment")) s.deploy = deployment_from_jv(*d);
+  if (const jv* r = get(o, "radio")) {
+    check_keys(*r, "radio", {"path_loss_exponent", "max_range"});
+    s.radio.path_loss_exponent = get_num(*r, "path_loss_exponent", s.radio.path_loss_exponent);
+    s.radio.max_range = get_num(*r, "max_range", s.radio.max_range);
+  }
+  if (const jv* m = get(o, "method")) s.method = method_from_jv(*m);
+  if (const jv* c = get(o, "cbtc")) {
+    check_keys(*c, "cbtc", {"alpha", "mode", "initial_power", "increase_factor"});
+    s.cbtc.alpha = get_num(*c, "alpha", s.cbtc.alpha);
+    const std::string mode = get_str(*c, "mode", "discrete");
+    require(mode == "discrete" || mode == "continuous",
+            "cbtc.mode must be \"discrete\" or \"continuous\"");
+    s.cbtc.mode =
+        mode == "continuous" ? algo::growth_mode::continuous : algo::growth_mode::discrete;
+    s.cbtc.initial_power = get_num(*c, "initial_power", s.cbtc.initial_power);
+    s.cbtc.increase_factor = get_num(*c, "increase_factor", s.cbtc.increase_factor);
+  }
+  if (const jv* opt = get(o, "optimizations")) {
+    check_keys(*opt, "optimizations", {"shrink_back", "asymmetric_removal", "pairwise_removal"});
+    s.opts.shrink_back = get_bool(*opt, "shrink_back", s.opts.shrink_back);
+    s.opts.asymmetric_removal = get_bool(*opt, "asymmetric_removal", s.opts.asymmetric_removal);
+    s.opts.pairwise_removal = get_bool(*opt, "pairwise_removal", s.opts.pairwise_removal);
+  }
+  if (const jv* p = get(o, "protocol")) {
+    check_keys(*p, "protocol", {"round_timeout", "reply_margin", "retries_per_level",
+                                "direction_noise", "max_events", "channel"});
+    s.protocol.agent.round_timeout = get_num(*p, "round_timeout", s.protocol.agent.round_timeout);
+    s.protocol.agent.reply_margin = get_num(*p, "reply_margin", s.protocol.agent.reply_margin);
+    s.protocol.agent.retries_per_level = static_cast<std::uint32_t>(
+        get_u64(*p, "retries_per_level", s.protocol.agent.retries_per_level));
+    s.protocol.direction_noise = get_num(*p, "direction_noise", s.protocol.direction_noise);
+    s.protocol.max_events = get_count(*p, "max_events", s.protocol.max_events);
+    if (const jv* ch = get(*p, "channel")) {
+      check_keys(*ch, "protocol.channel",
+                 {"drop_prob", "dup_prob", "base_delay", "delay_per_unit", "jitter_max"});
+      s.protocol.channel.drop_prob = get_num(*ch, "drop_prob", s.protocol.channel.drop_prob);
+      s.protocol.channel.dup_prob = get_num(*ch, "dup_prob", s.protocol.channel.dup_prob);
+      s.protocol.channel.base_delay = get_num(*ch, "base_delay", s.protocol.channel.base_delay);
+      s.protocol.channel.delay_per_unit =
+          get_num(*ch, "delay_per_unit", s.protocol.channel.delay_per_unit);
+      s.protocol.channel.jitter_max = get_num(*ch, "jitter_max", s.protocol.channel.jitter_max);
+    }
+  }
+  s.base_seed = get_u64(o, "base_seed", s.base_seed);
+  if (const jv* m = get(o, "metrics")) {
+    check_keys(*m, "metrics", {"stretch", "stretch_samples", "interference", "robustness"});
+    s.metrics.stretch = get_bool(*m, "stretch", s.metrics.stretch);
+    s.metrics.stretch_samples = get_count(*m, "stretch_samples", s.metrics.stretch_samples);
+    s.metrics.interference = get_bool(*m, "interference", s.metrics.interference);
+    s.metrics.robustness = get_bool(*m, "robustness", s.metrics.robustness);
+  }
+  if (const jv* p = get(o, "post")) {
+    check_keys(*p, "post", {"bridge_augmentation"});
+    s.post.bridge_augmentation = get_bool(*p, "bridge_augmentation", s.post.bridge_augmentation);
+  }
+  return s;
+}
+
+// ---- sim_spec <-> jv -----------------------------------------------
+
+jv sim_to_jv(const sim_spec& s) {
+  jv o = jv::object();
+  o.add("horizon", jv::of(s.horizon));
+  o.add("settle", jv::of(s.settle));
+  o.add("sample_every", jv::of(s.sample_every));
+  {
+    jv b = jv::object();
+    b.add("interval", jv::of(s.beacons.interval));
+    b.add("miss_limit", jv::of_u64(s.beacons.miss_limit));
+    b.add("achange_threshold", jv::of(s.beacons.achange_threshold));
+    b.add("shrink_back", jv::of(s.beacons.shrink_back));
+    o.add("beacons", std::move(b));
+  }
+  {
+    jv m = jv::object();
+    m.add("kind", jv::of(mobility_name(s.mobility.kind)));
+    m.add("min_speed", jv::of(s.mobility.min_speed));
+    m.add("max_speed", jv::of(s.mobility.max_speed));
+    m.add("pause", jv::of(s.mobility.pause));
+    m.add("tick", jv::of(s.mobility.tick));
+    m.add("start", jv::of(s.mobility.start));
+    m.add("until", jv::of(s.mobility.until));
+    o.add("mobility", std::move(m));
+  }
+  {
+    jv f = jv::object();
+    f.add("random_crashes", jv::of_u64(s.failures.random_crashes));
+    jv window = jv::array();
+    window.items.push_back(jv::of(s.failures.window_begin));
+    window.items.push_back(jv::of(s.failures.window_end));
+    f.add("window", std::move(window));
+    jv events = jv::array();
+    for (const failure_event& e : s.failures.events) {
+      jv ev = jv::object();
+      ev.add("node", jv::of_u64(e.node));
+      ev.add("time", jv::of(e.time));
+      ev.add("restart", jv::of(e.restart));
+      events.items.push_back(std::move(ev));
+    }
+    f.add("events", std::move(events));
+    o.add("failures", std::move(f));
+  }
+  return o;
+}
+
+sim_spec sim_from_jv(const jv& o) {
+  check_keys(o, "sim", {"horizon", "settle", "sample_every", "beacons", "mobility", "failures"});
+  sim_spec s;
+  s.horizon = get_num(o, "horizon", s.horizon);
+  s.settle = get_num(o, "settle", s.settle);
+  s.sample_every = get_num(o, "sample_every", s.sample_every);
+  if (const jv* b = get(o, "beacons")) {
+    check_keys(*b, "beacons", {"interval", "miss_limit", "achange_threshold", "shrink_back"});
+    s.beacons.interval = get_num(*b, "interval", s.beacons.interval);
+    s.beacons.miss_limit = static_cast<std::uint32_t>(get_u64(*b, "miss_limit", s.beacons.miss_limit));
+    s.beacons.achange_threshold = get_num(*b, "achange_threshold", s.beacons.achange_threshold);
+    s.beacons.shrink_back = get_bool(*b, "shrink_back", s.beacons.shrink_back);
+  }
+  if (const jv* m = get(o, "mobility")) {
+    check_keys(*m, "mobility",
+               {"kind", "min_speed", "max_speed", "pause", "tick", "start", "until"});
+    s.mobility.kind = parse_mobility(get_str(*m, "kind", "none"));
+    s.mobility.min_speed = get_num(*m, "min_speed", s.mobility.min_speed);
+    s.mobility.max_speed = get_num(*m, "max_speed", s.mobility.max_speed);
+    s.mobility.pause = get_num(*m, "pause", s.mobility.pause);
+    s.mobility.tick = get_num(*m, "tick", s.mobility.tick);
+    s.mobility.start = get_num(*m, "start", s.mobility.start);
+    s.mobility.until = get_num(*m, "until", s.mobility.until);
+  }
+  if (const jv* f = get(o, "failures")) {
+    check_keys(*f, "failures", {"random_crashes", "window", "events"});
+    s.failures.random_crashes = get_count(*f, "random_crashes", s.failures.random_crashes);
+    if (const jv* w = get(*f, "window")) {
+      require(w->k == jv::kind::array && w->items.size() == 2 &&
+                  w->items[0].k == jv::kind::number && w->items[1].k == jv::kind::number,
+              "failures.window must be a [begin, end] number pair");
+      s.failures.window_begin = w->items[0].num;
+      s.failures.window_end = w->items[1].num;
+    }
+    if (const jv* evs = get(*f, "events")) {
+      require(evs->k == jv::kind::array, "failures.events must be an array");
+      for (const jv& ev : evs->items) {
+        require(ev.k == jv::kind::object, "each failure event must be an object");
+        check_keys(ev, "failure event", {"node", "time", "restart"});
+        failure_event e;
+        e.node = static_cast<graph::node_id>(get_u64(ev, "node", 0));
+        e.time = get_num(ev, "time", 0.0);
+        e.restart = get_bool(ev, "restart", false);
+        s.failures.events.push_back(e);
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string to_json(const scenario_file& file) {
+  jv root = jv::object();
+  root.add("scenario", scenario_to_jv(file.scenario));
+  if (file.sim) root.add("sim", sim_to_jv(*file.sim));
+  std::ostringstream os;
+  write_value(os, root, 0);
+  os << '\n';
+  return os.str();
+}
+
+std::string to_json(const scenario_spec& spec) {
+  return to_json(scenario_file{.scenario = spec, .sim = std::nullopt});
+}
+
+scenario_file parse_scenario_json(std::string_view text) {
+  parser p{text};
+  const jv root = p.parse_value();
+  p.skip_ws();
+  if (p.pos != text.size()) p.fail("trailing content after the top-level value");
+  require(root.k == jv::kind::object, "top level must be an object");
+
+  scenario_file out;
+  if (const jv* scenario = get(root, "scenario")) {
+    check_keys(root, "top level", {"scenario", "sim"});
+    require(scenario->k == jv::kind::object, "\"scenario\" must be an object");
+    out.scenario = scenario_from_jv(*scenario);
+    if (const jv* sim = get(root, "sim")) {
+      require(sim->k == jv::kind::object, "\"sim\" must be an object");
+      out.sim = sim_from_jv(*sim);
+    }
+  } else {
+    // Bare scenario object (no "scenario"/"sim" wrapper).
+    out.scenario = scenario_from_jv(root);
+  }
+  return out;
+}
+
+scenario_file load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open scenario file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_scenario_json(buf.str());
+}
+
+void save_scenario_file(const std::string& path, const scenario_file& file) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write scenario file: " + path);
+  out << to_json(file);
+  if (!out) throw std::runtime_error("failed writing scenario file: " + path);
+}
+
+}  // namespace cbtc::api

@@ -1,0 +1,104 @@
+// Dynamic-simulation descriptions for the cbtc::api façade.
+//
+// A `sim_spec` makes churn and mobility a first-class workload axis: it
+// describes *what happens after deployment* — how nodes move, when they
+// crash or restart, how the Section 4 reconfiguration protocol (NDP
+// beaconing + the join/leave/aChange rules) is tuned, how long the
+// simulation runs, and how often metrics are sampled. Composed with a
+// `scenario_spec` (which still owns deployment, radio, CBTC parameters,
+// and the protocol substrate), a sim_spec plus a seed fully determines
+// a dynamic run, so dynamic batches are reproducible by construction.
+//
+// `lifetime_spec` describes the battery-attrition experiment of the
+// paper's Discussion (Section 6): every node pays its beacon power each
+// round plus relay costs for routed flows until batteries empty and the
+// surviving field partitions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace cbtc::api {
+
+/// How nodes move during the dynamic phase.
+enum class mobility_kind {
+  none,             ///< static deployment (failures only)
+  random_waypoint,  ///< walk to random targets at random speeds
+  bouncing,         ///< constant velocity, elastic boundary reflection
+};
+
+struct mobility_spec {
+  mobility_kind kind{mobility_kind::none};
+  double min_speed{1.0};  ///< distance units per time unit
+  double max_speed{10.0};
+  double pause{0.0};      ///< dwell time at each waypoint
+  double tick{0.5};       ///< position update period
+  /// Absolute sim time motion begins (0 = as soon as the run starts).
+  double start{0.0};
+  /// Absolute sim time motion ends (0 = move until the horizon).
+  double until{0.0};
+};
+
+/// One scheduled crash or restart.
+struct failure_event {
+  graph::node_id node{0};
+  double time{0.0};
+  bool restart{false};  ///< false = crash, true = restart
+};
+
+struct failure_spec {
+  /// Crash `random_crashes` distinct random nodes at uniform times in
+  /// [window_begin, window_end] (victims drawn from the run seed).
+  std::size_t random_crashes{0};
+  double window_begin{0.0};
+  double window_end{0.0};
+  /// Explicit schedule, applied in addition to the random crashes.
+  std::vector<failure_event> events;
+
+  [[nodiscard]] bool empty() const { return random_crashes == 0 && events.empty(); }
+};
+
+/// Neighbor-discovery (beaconing) parameters — the api-level mirror of
+/// proto::ndp_config, so callers never touch proto:: directly.
+struct beacon_spec {
+  double interval{1.0};  ///< beacon period
+  /// Beacons missed before leave_u(v) fires (tau = miss_limit * interval).
+  std::uint32_t miss_limit{3};
+  /// Minimum bearing change (radians) that triggers aChange_u(v).
+  double achange_threshold{0.05};
+  /// If true, joins/aChanges trigger the shrink-back pruning pass.
+  bool shrink_back{true};
+
+  /// tau: how long a silent neighbor stays in the table.
+  [[nodiscard]] double failure_detection_time() const {
+    return static_cast<double>(miss_limit) * interval;
+  }
+};
+
+/// A complete dynamic simulation: what happens between t = 0 and the
+/// horizon. The initial growing phase runs first; metric sampling
+/// starts at `settle` (by which the initial topology should be built).
+struct sim_spec {
+  double horizon{120.0};      ///< total simulated time
+  double settle{15.0};        ///< initial topology settle time
+  double sample_every{5.0};   ///< metric sample cadence after settle
+  beacon_spec beacons{};
+  mobility_spec mobility{};
+  failure_spec failures{};
+};
+
+/// Battery-attrition lifetime experiment (round-based, no event sim):
+/// each round every live node pays its beacon power, `flows` random
+/// source->sink messages drain p(d) per transmitting relay, and nodes
+/// die when their battery empties.
+struct lifetime_spec {
+  /// Battery capacity in units of the maximum transmit power (a budget
+  /// of `battery_rounds` max-power broadcasts).
+  double battery_rounds{40.0};
+  std::size_t flows{30};        ///< routed flows per round
+  std::size_t max_rounds{20000};
+};
+
+}  // namespace cbtc::api

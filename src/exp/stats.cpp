@@ -17,6 +17,19 @@ void summary::add(double x) {
   sum_sq_ += x * x;
 }
 
+void summary::merge(const summary& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
 double summary::mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
 
 double summary::stddev() const {

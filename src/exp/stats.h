@@ -11,6 +11,11 @@ class summary {
  public:
   void add(double x);
 
+  /// Folds another accumulator in (parallel partial reduction). The
+  /// result depends on partial boundaries, not on which thread built
+  /// which partial — merge partials in a fixed order for determinism.
+  void merge(const summary& other);
+
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const;
   [[nodiscard]] double min() const { return min_; }

@@ -1,0 +1,212 @@
+// JSON scenario files: a saved scenario_spec + sim_spec must round-trip
+// field for field, sparse files fall back to spec defaults, and
+// malformed input (bad JSON, unknown keys, wrong types) fails loudly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "api/api.h"
+
+namespace cbtc::api {
+namespace {
+
+scenario_file busy_file() {
+  scenario_file f;
+  scenario_spec& s = f.scenario;
+  s.name = "round_trip";
+  s.deploy = {.kind = deployment_kind::cluster,
+              .nodes = 77,
+              .region_side = 1234.5,
+              .clusters = 3,
+              .cluster_sigma = 99.5,
+              .grid_jitter = 0.25};
+  s.radio = {.path_loss_exponent = 4.0, .max_range = 321.0};
+  s.method = method_spec::of_baseline(baseline_kind::yao);
+  s.method.yao_cones = 8;
+  s.cbtc.alpha = 2.0;
+  s.cbtc.mode = algo::growth_mode::continuous;
+  s.cbtc.initial_power = 17.5;
+  s.cbtc.increase_factor = 3.0;
+  s.opts = {.shrink_back = true, .asymmetric_removal = false, .pairwise_removal = true};
+  s.protocol.agent.round_timeout = 0.75;
+  s.protocol.agent.reply_margin = 1.25;
+  s.protocol.agent.retries_per_level = 4;
+  s.protocol.direction_noise = 0.01;
+  s.protocol.max_events = 123456;
+  s.protocol.channel = {.drop_prob = 0.05,
+                        .dup_prob = 0.01,
+                        .base_delay = 0.02,
+                        .delay_per_unit = 0.001,
+                        .jitter_max = 0.03};
+  s.base_seed = 0xdeadbeefcafef00dULL;  // must survive as an exact u64
+  s.metrics = {.stretch = false, .stretch_samples = 5, .interference = false, .robustness = true};
+  s.post.bridge_augmentation = true;
+
+  sim_spec dyn;
+  dyn.horizon = 99.0;
+  dyn.settle = 11.0;
+  dyn.sample_every = 3.5;
+  dyn.beacons = {.interval = 0.8, .miss_limit = 5, .achange_threshold = 0.1, .shrink_back = false};
+  dyn.mobility = {.kind = mobility_kind::random_waypoint,
+                  .min_speed = 2.5,
+                  .max_speed = 7.5,
+                  .pause = 1.5,
+                  .tick = 0.25,
+                  .start = 10.0,
+                  .until = 80.0};
+  dyn.failures.random_crashes = 6;
+  dyn.failures.window_begin = 15.0;
+  dyn.failures.window_end = 45.0;
+  dyn.failures.events.push_back({.node = 12, .time = 33.0, .restart = false});
+  dyn.failures.events.push_back({.node = 12, .time = 44.0, .restart = true});
+  f.sim = dyn;
+  return f;
+}
+
+TEST(ApiSerialize, RoundTripPreservesEveryField) {
+  const scenario_file original = busy_file();
+  const scenario_file parsed = parse_scenario_json(to_json(original));
+
+  const scenario_spec& a = original.scenario;
+  const scenario_spec& b = parsed.scenario;
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.deploy.kind, b.deploy.kind);
+  EXPECT_EQ(a.deploy.nodes, b.deploy.nodes);
+  EXPECT_DOUBLE_EQ(a.deploy.region_side, b.deploy.region_side);
+  EXPECT_EQ(a.deploy.clusters, b.deploy.clusters);
+  EXPECT_DOUBLE_EQ(a.deploy.cluster_sigma, b.deploy.cluster_sigma);
+  EXPECT_DOUBLE_EQ(a.deploy.grid_jitter, b.deploy.grid_jitter);
+  EXPECT_DOUBLE_EQ(a.radio.path_loss_exponent, b.radio.path_loss_exponent);
+  EXPECT_DOUBLE_EQ(a.radio.max_range, b.radio.max_range);
+  EXPECT_EQ(a.method.k, b.method.k);
+  EXPECT_EQ(a.method.baseline, b.method.baseline);
+  EXPECT_EQ(a.method.yao_cones, b.method.yao_cones);
+  EXPECT_DOUBLE_EQ(a.cbtc.alpha, b.cbtc.alpha);
+  EXPECT_EQ(a.cbtc.mode, b.cbtc.mode);
+  EXPECT_DOUBLE_EQ(a.cbtc.initial_power, b.cbtc.initial_power);
+  EXPECT_DOUBLE_EQ(a.cbtc.increase_factor, b.cbtc.increase_factor);
+  EXPECT_EQ(a.opts.shrink_back, b.opts.shrink_back);
+  EXPECT_EQ(a.opts.asymmetric_removal, b.opts.asymmetric_removal);
+  EXPECT_EQ(a.opts.pairwise_removal, b.opts.pairwise_removal);
+  EXPECT_DOUBLE_EQ(a.protocol.agent.round_timeout, b.protocol.agent.round_timeout);
+  EXPECT_DOUBLE_EQ(a.protocol.agent.reply_margin, b.protocol.agent.reply_margin);
+  EXPECT_EQ(a.protocol.agent.retries_per_level, b.protocol.agent.retries_per_level);
+  EXPECT_DOUBLE_EQ(a.protocol.direction_noise, b.protocol.direction_noise);
+  EXPECT_EQ(a.protocol.max_events, b.protocol.max_events);
+  EXPECT_DOUBLE_EQ(a.protocol.channel.drop_prob, b.protocol.channel.drop_prob);
+  EXPECT_DOUBLE_EQ(a.protocol.channel.dup_prob, b.protocol.channel.dup_prob);
+  EXPECT_DOUBLE_EQ(a.protocol.channel.base_delay, b.protocol.channel.base_delay);
+  EXPECT_DOUBLE_EQ(a.protocol.channel.delay_per_unit, b.protocol.channel.delay_per_unit);
+  EXPECT_DOUBLE_EQ(a.protocol.channel.jitter_max, b.protocol.channel.jitter_max);
+  EXPECT_EQ(a.base_seed, b.base_seed);
+  EXPECT_EQ(a.metrics.stretch, b.metrics.stretch);
+  EXPECT_EQ(a.metrics.stretch_samples, b.metrics.stretch_samples);
+  EXPECT_EQ(a.metrics.interference, b.metrics.interference);
+  EXPECT_EQ(a.metrics.robustness, b.metrics.robustness);
+  EXPECT_EQ(a.post.bridge_augmentation, b.post.bridge_augmentation);
+
+  ASSERT_TRUE(parsed.sim.has_value());
+  const sim_spec& x = *original.sim;
+  const sim_spec& y = *parsed.sim;
+  EXPECT_DOUBLE_EQ(x.horizon, y.horizon);
+  EXPECT_DOUBLE_EQ(x.settle, y.settle);
+  EXPECT_DOUBLE_EQ(x.sample_every, y.sample_every);
+  EXPECT_DOUBLE_EQ(x.beacons.interval, y.beacons.interval);
+  EXPECT_EQ(x.beacons.miss_limit, y.beacons.miss_limit);
+  EXPECT_DOUBLE_EQ(x.beacons.achange_threshold, y.beacons.achange_threshold);
+  EXPECT_EQ(x.beacons.shrink_back, y.beacons.shrink_back);
+  EXPECT_EQ(x.mobility.kind, y.mobility.kind);
+  EXPECT_DOUBLE_EQ(x.mobility.min_speed, y.mobility.min_speed);
+  EXPECT_DOUBLE_EQ(x.mobility.max_speed, y.mobility.max_speed);
+  EXPECT_DOUBLE_EQ(x.mobility.pause, y.mobility.pause);
+  EXPECT_DOUBLE_EQ(x.mobility.tick, y.mobility.tick);
+  EXPECT_DOUBLE_EQ(x.mobility.start, y.mobility.start);
+  EXPECT_DOUBLE_EQ(x.mobility.until, y.mobility.until);
+  EXPECT_EQ(x.failures.random_crashes, y.failures.random_crashes);
+  EXPECT_DOUBLE_EQ(x.failures.window_begin, y.failures.window_begin);
+  EXPECT_DOUBLE_EQ(x.failures.window_end, y.failures.window_end);
+  ASSERT_EQ(y.failures.events.size(), 2u);
+  EXPECT_EQ(y.failures.events[0].node, 12u);
+  EXPECT_DOUBLE_EQ(y.failures.events[0].time, 33.0);
+  EXPECT_FALSE(y.failures.events[0].restart);
+  EXPECT_TRUE(y.failures.events[1].restart);
+}
+
+TEST(ApiSerialize, FixedPositionsRoundTrip) {
+  scenario_file f;
+  f.scenario.deploy = deployment_spec::fixed_positions(
+      {{0.0, 0.0}, {100.5, -3.25}, {7.0, 42.0}});
+  const scenario_file parsed = parse_scenario_json(to_json(f));
+  ASSERT_EQ(parsed.scenario.deploy.kind, deployment_kind::fixed);
+  ASSERT_EQ(parsed.scenario.deploy.fixed.size(), 3u);
+  EXPECT_DOUBLE_EQ(parsed.scenario.deploy.fixed[1].x, 100.5);
+  EXPECT_DOUBLE_EQ(parsed.scenario.deploy.fixed[1].y, -3.25);
+  EXPECT_EQ(parsed.scenario.deploy.nodes, 3u);
+  EXPECT_FALSE(parsed.sim.has_value());
+}
+
+TEST(ApiSerialize, SparseFilesFallBackToDefaults) {
+  const scenario_file f = parse_scenario_json(R"({
+    "scenario": {"deployment": {"nodes": 12}, "method": "gabriel"},
+    "sim": {"horizon": 50}
+  })");
+  EXPECT_EQ(f.scenario.deploy.nodes, 12u);
+  EXPECT_EQ(f.scenario.deploy.kind, deployment_kind::uniform);
+  EXPECT_EQ(f.scenario.method.k, method_spec::kind::baseline);
+  EXPECT_EQ(f.scenario.method.baseline, baseline_kind::gabriel);
+  EXPECT_DOUBLE_EQ(f.scenario.radio.max_range, scenario_spec{}.radio.max_range);
+  ASSERT_TRUE(f.sim.has_value());
+  EXPECT_DOUBLE_EQ(f.sim->horizon, 50.0);
+  EXPECT_DOUBLE_EQ(f.sim->settle, sim_spec{}.settle);
+}
+
+TEST(ApiSerialize, BareScenarioObjectIsAccepted) {
+  const scenario_file f = parse_scenario_json(R"({"name": "bare", "base_seed": 5})");
+  EXPECT_EQ(f.scenario.name, "bare");
+  EXPECT_EQ(f.scenario.base_seed, 5u);
+  EXPECT_FALSE(f.sim.has_value());
+}
+
+TEST(ApiSerialize, MalformedInputFailsLoudly) {
+  EXPECT_THROW(parse_scenario_json("{"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario_json("[1, 2]"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario_json(R"({"scenario": {"typo_key": 1}})"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario_json(R"({"scenario": {}, "sim": {"mobility": {"kind": "warp"}}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario_json(R"({"scenario": {"cbtc": {"mode": "sideways"}}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario_json(R"({"scenario": {"base_seed": "not-a-number"}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario_json(R"({"scenario": {}, "extra": 1})"), std::invalid_argument);
+  // Fractional counts must be rejected, not truncated.
+  EXPECT_THROW(parse_scenario_json(R"({"scenario": {"deployment": {"nodes": 12.7}}})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_scenario_json(R"({"scenario": {}, "sim": {"beacons": {"miss_limit": 2.5}}})"),
+      std::invalid_argument);
+  // Positions without kind "fixed" would silently run a different
+  // network than the file describes.
+  EXPECT_THROW(parse_scenario_json(R"({"scenario": {"deployment": {"positions": [[0, 0]]}}})"),
+               std::invalid_argument);
+  // Exact integers in scientific notation are still fine.
+  const scenario_file sci =
+      parse_scenario_json(R"({"scenario": {"deployment": {"nodes": 1e2}}})");
+  EXPECT_EQ(sci.scenario.deploy.nodes, 100u);
+}
+
+TEST(ApiSerialize, SaveAndLoadFile) {
+  const std::string path = "/tmp/cbtc_serialize_test.json";
+  const scenario_file original = busy_file();
+  save_scenario_file(path, original);
+  const scenario_file loaded = load_scenario_file(path);
+  EXPECT_EQ(loaded.scenario.name, original.scenario.name);
+  EXPECT_EQ(loaded.scenario.base_seed, original.scenario.base_seed);
+  ASSERT_TRUE(loaded.sim.has_value());
+  EXPECT_DOUBLE_EQ(loaded.sim->horizon, original.sim->horizon);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_scenario_file("/nonexistent/dir/x.json"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cbtc::api

@@ -5,12 +5,18 @@
 //   cbtc analyze  --in nodes.csv
 //   cbtc compare  --in nodes.csv
 //   cbtc sweep    --scenario paper_table1 --seeds 100 --threads 4
+//   cbtc sweep    --file scenario.json --seeds 50
+//   cbtc sweep    --scenario paper_table1 --save scenario.json
 //
 // generate: write a random deployment as CSV (uniform | cluster | grid)
 // build:    run one scenario through cbtc::api and export the topology
 // analyze:  per-instance alpha threshold scan + invariant checks
 // compare:  metrics table against the position-based baselines
-// sweep:    multi-seed batch of a (named) scenario, parallel engine
+// sweep:    multi-seed batch of a (named or JSON-file) scenario on the
+//           parallel engine; a "sim" section in the file switches the
+//           sweep to dynamic (churn / mobility) simulation. --save
+//           writes the resolved scenario back out as JSON, so named
+//           scenarios can be pinned as experiment config files.
 #include <charconv>
 #include <fstream>
 #include <iostream>
@@ -108,9 +114,11 @@ int usage() {
       "            [--continuous] [--svg FILE] [--dot FILE] [--edges FILE]\n"
       "  analyze   --in FILE.csv [--range R] [--exponent N]\n"
       "  compare   --in FILE.csv [--range R] [--exponent N]\n"
-      "  sweep     --scenario NAME [--seeds N] [--first N] [--threads T]\n"
+      "  sweep     --scenario NAME | --file SCENARIO.json\n"
+      "            [--seeds N] [--first N] [--threads T]\n"
       "            [--method oracle|protocol|mst|rng|gabriel|yao|knn|max-power]\n"
       "            [--alpha RAD] [--nodes N] [--region S] [--range R]\n"
+      "            [--save FILE.json]  (write the resolved scenario, don't run)\n"
       "  sweep     --list           (show registered scenarios)\n";
   return 2;
 }
@@ -254,6 +262,42 @@ int cmd_compare(const cli_args& args) {
   return 0;
 }
 
+/// Prints a dynamic sweep's aggregates and returns the process exit code.
+int print_dynamic_sweep(const api::scenario_spec& spec, const api::dynamic_batch_report& b,
+                        api::seed_range seeds) {
+  std::cout << "dynamic scenario " << spec.name << " (" << api::method_name(spec.method)
+            << "), seeds [" << seeds.first << ", " << seeds.first + seeds.count << "), " << b.runs
+            << " runs\n\n";
+
+  exp::table t({"metric", "mean", "stddev", "min", "max"});
+  const auto row = [&t](const std::string& label, const exp::summary& s, int precision = 2) {
+    t.add_row({label, exp::table::num(s.mean(), precision), exp::table::num(s.stddev(), precision),
+               exp::table::num(s.min(), precision), exp::table::num(s.max(), precision)});
+  };
+  row("broadcasts", b.broadcasts, 0);
+  row("unicasts", b.unicasts, 0);
+  row("tx energy", b.tx_energy, 0);
+  row("beacons", b.beacons, 0);
+  row("joins", b.joins, 1);
+  row("leaves", b.leaves, 1);
+  row("aChanges", b.achanges, 1);
+  row("regrows", b.regrows, 1);
+  row("disruptions", b.disruptions, 1);
+  row("repair latency (mean)", b.repair_latency);
+  row("repair latency (max)", b.repair_latency_max);
+  row("time to partition", b.time_to_partition, 1);
+  row("final edges", b.final_edges, 1);
+  row("final avg degree", b.final_degree);
+  row("final avg radius", b.final_radius, 1);
+  row("live nodes", b.live_nodes, 1);
+  t.print(std::cout);
+
+  std::cout << "\nfinal connectivity preserved: " << (b.runs - b.final_connectivity_failures)
+            << "/" << b.runs << "\npartitioned runs: " << b.partitioned_runs
+            << ", unrepaired disruptions: " << b.unrepaired_disruptions << "\n";
+  return b.final_connectivity_failures == 0 ? 0 : 1;
+}
+
 int cmd_sweep(const cli_args& args) {
   if (args.has_flag("list")) {
     std::cout << "registered scenarios:\n";
@@ -261,15 +305,24 @@ int cmd_sweep(const cli_args& args) {
     return 0;
   }
 
-  const std::string name = args.get("scenario", "paper_table1");
-  auto found = api::find_scenario(name);
-  if (!found) {
-    std::ostringstream msg;
-    msg << "unknown scenario '" << name << "'; try one of:";
-    for (const std::string& n : api::scenario_names()) msg << " " << n;
-    throw usage_error(msg.str());
+  std::optional<api::sim_spec> sim;
+  api::scenario_spec spec;
+  if (const std::string file = args.get("file", ""); !file.empty()) {
+    api::scenario_file loaded = api::load_scenario_file(file);
+    spec = std::move(loaded.scenario);
+    sim = loaded.sim;
+    if (spec.name.empty()) spec.name = file;
+  } else {
+    const std::string name = args.get("scenario", "paper_table1");
+    auto found = api::find_scenario(name);
+    if (!found) {
+      std::ostringstream msg;
+      msg << "unknown scenario '" << name << "'; try one of:";
+      for (const std::string& n : api::scenario_names()) msg << " " << n;
+      throw usage_error(msg.str());
+    }
+    spec = *std::move(found);
   }
-  api::scenario_spec spec = *std::move(found);
 
   // Command-line overrides on top of the named scenario.
   if (args.options.contains("method")) {
@@ -288,11 +341,20 @@ int cmd_sweep(const cli_args& args) {
     spec.radio.max_range = args.num("range", spec.radio.max_range);
   }
 
+  if (const std::string save = args.get("save", ""); !save.empty()) {
+    api::save_scenario_file(save, {.scenario = spec, .sim = sim});
+    std::cout << "wrote scenario '" << spec.name << "' to " << save << "\n";
+    return 0;
+  }
+
   const api::seed_range seeds{static_cast<std::uint64_t>(args.count("first", 0)),
                               static_cast<std::uint64_t>(args.count("seeds", 20))};
   const auto threads = static_cast<unsigned>(args.count("threads", 0));
 
   const api::engine eng;
+  if (sim) {
+    return print_dynamic_sweep(spec, eng.run_batch(spec, *sim, seeds, threads), seeds);
+  }
   const api::batch_report b = eng.run_batch(spec, seeds, threads);
 
   std::cout << "scenario " << spec.name << " (" << api::method_name(spec.method) << "), seeds ["
