@@ -6,14 +6,23 @@
 // the remaining micro-benchmarks time the geometric substrate the
 // engine is built on. Constant density is maintained by growing the
 // region with the node count.
+// Results are also written to BENCH_scaling.json (google-benchmark's
+// JSON format) unless --benchmark_out is given explicitly, so CI and
+// scripts get machine-readable numbers for free.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "algo/oracle.h"
 #include "api/api.h"
 #include "geom/random_points.h"
 #include "geom/spatial_grid.h"
 #include "graph/euclidean.h"
+#include "graph/live_index.h"
 
 namespace {
 
@@ -94,6 +103,108 @@ void BM_EngineBaselineMst(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineBaselineMst)->RangeMultiplier(2)->Range(100, 800);
 
+// -- intra-instance parallel growth (serial vs threaded, large n) -----
+
+/// Times the oracle growth loop alone (algo::run_cbtc) on one large
+/// instance: range(0) nodes at the paper's density, range(1) intra
+/// threads. The 10k x {1, 4} pair is the headline intra-parallel
+/// speedup row; results are bitwise identical across the thread axis.
+void BM_CbtcGrowthIntraThreads(benchmark::State& state) {
+  const auto positions = make_positions(state.range(0));
+  algo::cbtc_params params;
+  params.mode = algo::growth_mode::continuous;
+  params.intra_threads = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::run_cbtc(positions, pm, params));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CbtcGrowthIntraThreads)
+    ->ArgsProduct({{10000, 50000}, {1, 2, 4}})
+    ->Unit(benchmark::kMillisecond);
+
+/// Full engine run (growth + optimizations + invariants + metrics) on
+/// a large instance, serial vs 4 intra threads.
+void BM_EngineOracleIntraThreads(benchmark::State& state) {
+  api::scenario_spec spec = scaling_spec(state.range(0));
+  spec.cbtc.intra_threads = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.run(spec));
+  }
+}
+BENCHMARK(BM_EngineOracleIntraThreads)
+    ->ArgsProduct({{10000}, {1, 4}})
+    ->Unit(benchmark::kMillisecond);
+
+// -- dynamic sampling: per-tick full rebuild vs incremental index -----
+
+namespace dynamic_tick {
+
+/// One mobility tick: every node advances by its velocity, bouncing at
+/// the region boundary — the motion the incremental index absorbs as
+/// move() deltas and the rebuild strategy answers by reconstructing
+/// G_R from scratch.
+struct motion {
+  explicit motion(std::int64_t nodes)
+      : side(density_side_for(nodes)), positions(make_positions(nodes)) {
+    velocities.reserve(positions.size());
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      // Deterministic per-node heading; speeds ~ a few units per tick.
+      const double a = 0.7 * static_cast<double>(i % 97);
+      velocities.push_back({3.0 * std::cos(a), 3.0 * std::sin(a)});
+    }
+  }
+
+  void step() {
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      geom::vec2 p = positions[i] + velocities[i];
+      if (p.x < 0.0 || p.x > side) {
+        velocities[i].x = -velocities[i].x;
+        p.x = std::clamp(p.x, 0.0, side);
+      }
+      if (p.y < 0.0 || p.y > side) {
+        velocities[i].y = -velocities[i].y;
+        p.y = std::clamp(p.y, 0.0, side);
+      }
+      positions[i] = p;
+    }
+  }
+
+  double side;
+  std::vector<geom::vec2> positions;
+  std::vector<geom::vec2> velocities;
+};
+
+}  // namespace dynamic_tick
+
+void BM_DynamicTickFullRebuild(benchmark::State& state) {
+  dynamic_tick::motion m(state.range(0));
+  for (auto _ : state) {
+    m.step();
+    benchmark::DoNotOptimize(graph::build_max_power_graph(m.positions, pm.max_range()));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DynamicTickFullRebuild)
+    ->Arg(1000)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DynamicTickIncrementalIndex(benchmark::State& state) {
+  dynamic_tick::motion m(state.range(0));
+  graph::live_neighbor_index index(m.positions, pm.max_range());
+  for (auto _ : state) {
+    m.step();
+    for (std::size_t i = 0; i < m.positions.size(); ++i) {
+      index.move(static_cast<graph::node_id>(i), m.positions[i]);
+    }
+    benchmark::DoNotOptimize(index.num_edges());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DynamicTickIncrementalIndex)
+    ->Arg(1000)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
 // -- substrate micro-benchmarks (not scenario orchestration) ----------
 
 void BM_MaxPowerGraphGrid(benchmark::State& state) {
@@ -138,4 +249,29 @@ BENCHMARK(BM_SpatialGridQuery);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+/// BENCHMARK_MAIN with one addition: default --benchmark_out to
+/// BENCH_scaling.json so every run leaves a machine-readable record.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_scaling.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    // Exact flag only: --benchmark_out_format alone must not suppress
+    // the default output file.
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0 ||
+        std::strcmp(argv[i], "--benchmark_out") == 0) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,17 +1,36 @@
 #include "algo/analysis.h"
 
 #include <string>
+#include <utility>
 
 #include "graph/euclidean.h"
 #include "graph/metrics.h"
 #include "graph/traversal.h"
+#include "util/parallel.h"
 
 namespace cbtc::algo {
 
 invariant_report check_invariants(const graph::undirected_graph& topology,
-                                  std::span<const geom::vec2> positions, double max_range) {
+                                  std::span<const geom::vec2> positions, double max_range,
+                                  unsigned intra_threads) {
+  return check_invariants(topology, positions, max_range,
+                          graph::build_max_power_graph(positions, max_range), intra_threads);
+}
+
+invariant_report check_invariants(const graph::undirected_graph& topology,
+                                  std::span<const geom::vec2> positions, double max_range,
+                                  const graph::undirected_graph& max_power_graph,
+                                  unsigned intra_threads) {
+  util::thread_pool pool(intra_threads);
+  return check_invariants(topology, positions, max_range, max_power_graph, pool);
+}
+
+invariant_report check_invariants(const graph::undirected_graph& topology,
+                                  std::span<const geom::vec2> positions, double max_range,
+                                  const graph::undirected_graph& max_power_graph,
+                                  util::thread_pool& pool) {
   invariant_report rep;
-  const graph::undirected_graph gr = graph::build_max_power_graph(positions, max_range);
+  const graph::undirected_graph& gr = max_power_graph;
 
   rep.subgraph_of_max_power = true;
   for (const graph::edge& e : topology.edges()) {
@@ -30,16 +49,35 @@ invariant_report check_invariants(const graph::undirected_graph& topology,
                              std::to_string(graph::connected_components(gr).count));
   }
 
-  rep.radii_within_max_range = true;
+  // Per-node radius scan, reduced in fixed block order so the report
+  // (flag and violation order) is identical for any thread count.
   constexpr double tol = 1e-9;
-  for (graph::node_id u = 0; u < topology.num_nodes(); ++u) {
-    const double r = graph::node_radius(topology, positions, u, 0.0);
-    if (r > max_range * (1.0 + tol)) {
-      rep.radii_within_max_range = false;
-      rep.violations.push_back("node " + std::to_string(u) + " needs radius " +
-                               std::to_string(r) + " > R = " + std::to_string(max_range));
-    }
-  }
+  struct radius_partial {
+    bool ok{true};
+    std::vector<std::string> violations;
+  };
+  const radius_partial radii = pool.reduce<radius_partial>(
+      topology.num_nodes(), {},
+      [&](std::size_t lo, std::size_t hi) {
+        radius_partial part;
+        for (std::size_t u = lo; u < hi; ++u) {
+          const double r =
+              graph::node_radius(topology, positions, static_cast<graph::node_id>(u), 0.0);
+          if (r > max_range * (1.0 + tol)) {
+            part.ok = false;
+            part.violations.push_back("node " + std::to_string(u) + " needs radius " +
+                                      std::to_string(r) + " > R = " + std::to_string(max_range));
+          }
+        }
+        return part;
+      },
+      [](radius_partial& total, const radius_partial& p) {
+        total.ok = total.ok && p.ok;
+        total.violations.insert(total.violations.end(), p.violations.begin(),
+                                p.violations.end());
+      });
+  rep.radii_within_max_range = radii.ok;
+  rep.violations.insert(rep.violations.end(), radii.violations.begin(), radii.violations.end());
   return rep;
 }
 

@@ -8,6 +8,10 @@
 #include "geom/vec2.h"
 #include "graph/graph.h"
 
+namespace cbtc::util {
+class thread_pool;
+}
+
 namespace cbtc::algo {
 
 struct invariant_report {
@@ -23,9 +27,27 @@ struct invariant_report {
 
 /// Checks the paper's three desiderata for a topology-control output
 /// (Section 1): subgraph of G_R, connectivity preservation, and no node
-/// transmitting beyond R.
+/// transmitting beyond R. Builds G_R internally; `intra_threads`
+/// parallelizes the per-node radius scan (results are identical for
+/// any thread count).
 [[nodiscard]] invariant_report check_invariants(const graph::undirected_graph& topology,
                                                 std::span<const geom::vec2> positions,
-                                                double max_range);
+                                                double max_range, unsigned intra_threads = 1);
+
+/// Same checks against a caller-supplied max-power graph, so engines
+/// that already built G_R do not pay for a second construction.
+[[nodiscard]] invariant_report check_invariants(const graph::undirected_graph& topology,
+                                                std::span<const geom::vec2> positions,
+                                                double max_range,
+                                                const graph::undirected_graph& max_power_graph,
+                                                unsigned intra_threads = 1);
+
+/// Same checks on a caller-supplied thread pool (engines that already
+/// hold one avoid a second worker spawn per instance).
+[[nodiscard]] invariant_report check_invariants(const graph::undirected_graph& topology,
+                                                std::span<const geom::vec2> positions,
+                                                double max_range,
+                                                const graph::undirected_graph& max_power_graph,
+                                                util::thread_pool& pool);
 
 }  // namespace cbtc::algo

@@ -6,6 +6,7 @@
 
 #include "geom/angle.h"
 #include "geom/spatial_grid.h"
+#include "util/parallel.h"
 
 namespace cbtc::algo {
 
@@ -152,16 +153,21 @@ cbtc_result run_cbtc(std::span<const geom::vec2> positions, const radio::power_m
 
   cbtc_result result;
   result.params = params;
-  result.nodes.reserve(positions.size());
   if (positions.empty()) return result;
 
+  // Growth is a pure per-node computation over the immutable grid, so
+  // the parallel loop is deterministic by construction: node u's
+  // outcome lands in slot u no matter which thread ran it.
   const geom::spatial_grid grid(positions, power.max_range());
-  for (node_id u = 0; u < positions.size(); ++u) {
-    const std::vector<candidate> cands = candidates_of(u, positions, grid, power.max_range());
-    result.nodes.push_back(params.mode == growth_mode::discrete
-                               ? run_discrete(cands, power, params, p0)
-                               : run_continuous(cands, power, params));
-  }
+  result.nodes.resize(positions.size());
+  util::thread_pool pool(params.intra_threads);
+  pool.parallel_for(positions.size(), [&](std::size_t u) {
+    const std::vector<candidate> cands =
+        candidates_of(static_cast<node_id>(u), positions, grid, power.max_range());
+    result.nodes[u] = params.mode == growth_mode::discrete
+                          ? run_discrete(cands, power, params, p0)
+                          : run_continuous(cands, power, params);
+  });
   return result;
 }
 

@@ -5,6 +5,14 @@
 // injector, and the per-node Section 4 reconfiguration agents; benches
 // and examples describe dynamic workloads purely as scenario_spec +
 // sim_spec values.
+//
+// The live max-power graph G_R is never rebuilt from scratch during a
+// run: a graph::live_neighbor_index mirrors the medium through move /
+// liveness hooks (each mobility tick or crash/restart costs
+// O(neighborhood) instead of O(n * k)), and an event-driven union-find
+// connectivity monitor on top of it yields exact disruption windows —
+// connectivity is re-evaluated at every event timestamp that changed
+// the index or an agent's neighbor table, not at sample cadence.
 #include <cmath>
 #include <memory>
 #include <random>
@@ -12,7 +20,7 @@
 
 #include "api/engine.h"
 #include "geom/angle.h"
-#include "graph/euclidean.h"
+#include "graph/live_index.h"
 #include "graph/metrics.h"
 #include "graph/shortest_path.h"
 #include "graph/traversal.h"
@@ -21,6 +29,7 @@
 #include "sim/medium.h"
 #include "sim/mobility.h"
 #include "sim/simulator.h"
+#include "util/parallel.h"
 
 namespace cbtc::api {
 namespace {
@@ -28,61 +37,52 @@ namespace {
 /// Liveness-restricted view of the network at one instant.
 struct live_state {
   graph::undirected_graph topology;  ///< live agents' symmetric neighbor closure
-  graph::undirected_graph gr;        ///< G_R induced on live nodes
+  graph::undirected_graph gr;        ///< live G_R (snapshot of the incremental index)
   std::vector<bool> up;
   std::size_t live{0};
 };
 
-live_state capture_live_state(const sim::medium& medium,
-                              const std::vector<std::unique_ptr<proto::reconfig_agent>>& agents,
-                              double max_range) {
+live_state capture_live_state(const graph::live_neighbor_index& index,
+                              const std::vector<std::unique_ptr<proto::reconfig_agent>>& agents) {
   const std::size_t n = agents.size();
-  live_state s{graph::undirected_graph(n), graph::undirected_graph(n), std::vector<bool>(n), 0};
-  for (graph::node_id u = 0; u < n; ++u) {
-    s.up[u] = medium.is_up(u);
-    if (s.up[u]) ++s.live;
-  }
+  live_state s{graph::undirected_graph(n), index.graph(), std::vector<bool>(n), index.live_count()};
+  for (graph::node_id u = 0; u < n; ++u) s.up[u] = index.is_live(u);
   for (graph::node_id u = 0; u < n; ++u) {
     if (!s.up[u]) continue;
     for (const auto& [v, info] : agents[u]->cbtc().neighbors()) {
       if (s.up[v]) s.topology.add_edge(u, v);
     }
   }
-  s.gr = graph::build_max_power_graph(medium.positions(), max_range).induced(s.up);
   return s;
 }
 
-/// True when every live node sits in one component of `gr`.
-bool field_connected(const live_state& s) {
-  if (s.live <= 1) return true;
-  const graph::component_labels comps = graph::connected_components(s.gr);
-  graph::node_id first = graph::invalid_node;
-  for (graph::node_id u = 0; u < s.up.size(); ++u) {
-    if (!s.up[u]) continue;
-    if (first == graph::invalid_node) {
-      first = u;
-    } else if (!comps.same_component(u, first)) {
-      return false;
-    }
-  }
-  return true;
-}
-
-dynamic_sample measure(const live_state& s, const std::vector<geom::vec2>& positions,
-                       double max_range, double t) {
+dynamic_sample measure(const live_state& s, bool field_connected,
+                       const std::vector<geom::vec2>& positions, double max_range, double t,
+                       util::thread_pool& pool) {
   dynamic_sample out;
   out.t = t;
   out.live_nodes = s.live;
   out.edges = s.topology.num_edges();
   out.avg_degree =
       s.live == 0 ? 0.0 : 2.0 * static_cast<double>(out.edges) / static_cast<double>(s.live);
-  double radius_sum = 0.0;
-  for (graph::node_id u = 0; u < s.up.size(); ++u) {
-    if (s.up[u]) radius_sum += graph::node_radius(s.topology, positions, u, max_range);
-  }
+  // Block-ordered reduction: avg_radius is bitwise identical for any
+  // intra-thread count.
+  const double radius_sum = pool.reduce<double>(
+      s.up.size(), 0.0,
+      [&](std::size_t lo, std::size_t hi) {
+        double sum = 0.0;
+        for (std::size_t u = lo; u < hi; ++u) {
+          if (s.up[u]) {
+            sum += graph::node_radius(s.topology, positions, static_cast<graph::node_id>(u),
+                                      max_range);
+          }
+        }
+        return sum;
+      },
+      [](double& total, const double& part) { total += part; });
   out.avg_radius = s.live == 0 ? 0.0 : radius_sum / static_cast<double>(s.live);
   out.connectivity_ok = graph::same_connectivity(s.topology, s.gr);
-  out.field_connected = field_connected(s);
+  out.field_connected = field_connected;
   return out;
 }
 
@@ -138,6 +138,85 @@ dynamic_report engine::run_dynamic(const scenario_spec& spec, const sim_spec& si
     const graph::node_id id = medium.add_node(p, {});
     agents.push_back(std::make_unique<proto::reconfig_agent>(medium, id, cfg));
   }
+
+  // The incremental live G_R: mirrored from the medium through hooks,
+  // never rebuilt. The union-find monitor answers field connectivity
+  // at event granularity.
+  graph::live_neighbor_index index(positions, pm.max_range());
+  graph::connectivity_monitor field_monitor(index);
+  util::thread_pool pool(spec.cbtc.intra_threads);
+
+  // -- event-driven connectivity tracking ---------------------------
+  // Armed after the settle sample. Every event that changes the index
+  // or an agent's neighbor table schedules one evaluation at the
+  // current timestamp (FIFO within equal times: the evaluation sees
+  // the settled state of its instant). Disruption windows therefore
+  // carry exact event times instead of sample-cadence times.
+  bool tracking = false;
+  bool eval_scheduled = false;
+  bool was_ok = false;  // disruptions are ok -> broken transitions only;
+                        // a topology still converging at `settle` is
+                        // reported via initial_connectivity_ok instead
+  double broken_since = -1.0;
+  double latency_sum = 0.0;
+  double field_broken_since = -1.0;
+
+  const auto track = [&](double t, bool ok, bool field) {
+    if (!ok && was_ok && broken_since < 0.0) broken_since = t;
+    if (ok) {
+      if (broken_since >= 0.0) {
+        const double latency = t - broken_since;
+        ++r.disruptions;
+        latency_sum += latency;
+        r.repair_latency_max = std::max(r.repair_latency_max, latency);
+        broken_since = -1.0;
+      }
+      was_ok = true;
+    }
+    if (!field && field_broken_since < 0.0) {
+      field_broken_since = t;
+      if (!r.partitioned) {
+        r.partitioned = true;
+        r.time_to_partition = t;
+      }
+    } else if (field && field_broken_since >= 0.0) {
+      ++r.field_disruptions;
+      r.field_downtime += t - field_broken_since;
+      field_broken_since = -1.0;
+    }
+  };
+
+  const auto evaluate_now = [&] {
+    eval_scheduled = false;
+    const live_state s = capture_live_state(index, agents);
+    track(simulator.now(), graph::same_connectivity(s.topology, s.gr),
+          field_monitor.connected());
+  };
+  const auto note_change = [&] {
+    if (!tracking || eval_scheduled) return;
+    eval_scheduled = true;
+    simulator.schedule_at(simulator.now(), evaluate_now);
+  };
+
+  medium.set_move_hook([&](graph::node_id u, const geom::vec2& p) {
+    // The evaluation runs as an event after every mutation of this
+    // timestamp, so the index updates first — and a move that changed
+    // no edge (version unchanged) cannot change connectivity, so it
+    // schedules no evaluation at all.
+    const std::uint64_t before = index.version();
+    index.move(u, p);
+    if (index.version() != before) note_change();
+  });
+  medium.set_liveness_hook([&](graph::node_id u, bool up) {
+    if (up) {
+      index.insert(u, medium.position(u));
+    } else {
+      index.erase(u);
+    }
+    note_change();  // the live set itself changed
+  });
+  for (auto& a : agents) a->set_change_hook(note_change);
+
   for (auto& a : agents) a->start(sim_cfg.horizon);
 
   // Failure schedule: random crashes drawn from the instance seed,
@@ -184,34 +263,20 @@ dynamic_report engine::run_dynamic(const scenario_spec& spec, const sim_spec& si
     simulator.schedule_at(mob.start, [&] { bouncing->start(mob.tick, move_until); });
   }
 
-  // Sample at settle, every sample_every after that, and at the horizon.
-  double broken_since = -1.0;
-  double latency_sum = 0.0;
-  bool was_ok = false;  // disruptions are ok -> broken transitions only;
-                        // a topology still converging at `settle` is
-                        // reported via initial_connectivity_ok instead
-  live_state state;     // last captured state (reused for the final report)
+  // Sample at settle, every sample_every after that, and at the
+  // horizon; the event-driven tracker covers everything in between.
+  live_state state;  // last captured state (reused for the final report)
   const auto observe = [&](double t) {
-    state = capture_live_state(medium, agents, pm.max_range());
-    const dynamic_sample s = measure(state, medium.positions(), pm.max_range(), t);
-    if (!s.connectivity_ok && was_ok && broken_since < 0.0) broken_since = s.t;
-    if (s.connectivity_ok) was_ok = true;
-    if (s.connectivity_ok && broken_since >= 0.0) {
-      const double latency = s.t - broken_since;
-      ++r.disruptions;
-      latency_sum += latency;
-      r.repair_latency_max = std::max(r.repair_latency_max, latency);
-      broken_since = -1.0;
-    }
-    if (!r.partitioned && !s.field_connected) {
-      r.partitioned = true;
-      r.time_to_partition = s.t;
-    }
+    state = capture_live_state(index, agents);
+    const dynamic_sample s = measure(state, field_monitor.connected(), medium.positions(),
+                                     pm.max_range(), t, pool);
+    track(t, s.connectivity_ok, s.field_connected);
     r.samples.push_back(s);
   };
 
   const double settle = std::min(sim_cfg.settle, sim_cfg.horizon);
   simulator.run_until(settle);
+  tracking = true;  // pre-settle convergence is not a disruption
   observe(settle);
   r.initial_connectivity_ok = r.samples.front().connectivity_ok;
   r.initial_edges = r.samples.front().edges;
@@ -228,6 +293,7 @@ dynamic_report engine::run_dynamic(const scenario_spec& spec, const sim_spec& si
   }
 
   if (broken_since >= 0.0) ++r.unrepaired;
+  if (field_broken_since >= 0.0) r.field_downtime += sim_cfg.horizon - field_broken_since;
   if (!r.partitioned) r.time_to_partition = sim_cfg.horizon;
   r.repair_latency_mean =
       r.disruptions == 0 ? 0.0 : latency_sum / static_cast<double>(r.disruptions);
@@ -254,12 +320,12 @@ lifetime_report engine::run_lifetime(const scenario_spec& spec, const lifetime_s
                                      std::uint64_t seed) const {
   scenario_spec topo_spec = spec;
   topo_spec.metrics = {.stretch = false, .interference = false, .robustness = false};
-  const run_report built = run(topo_spec, seed);
-
-  const std::vector<geom::vec2> positions = spec.make_positions(seed);
+  // One pass: the engine hands back the deployment and the max-power
+  // graph it already built for the topology run.
+  std::vector<geom::vec2> positions;
+  graph::undirected_graph gr;
+  const run_report built = run_internal(topo_spec, seed, &positions, &gr);
   const radio::power_model pm = spec.power();
-  const graph::undirected_graph gr =
-      graph::build_max_power_graph(positions, pm.max_range());
   const graph::undirected_graph& topology = built.topology;
 
   const std::size_t n = positions.size();
@@ -270,10 +336,14 @@ lifetime_report engine::run_lifetime(const scenario_spec& spec, const lifetime_s
 
   // Beacon power: reach the farthest topology neighbor (nodes with no
   // neighbors spend nothing — they have nobody to keep alive).
+  // Per-slot writes: identical for any intra-thread count.
+  util::thread_pool pool(spec.cbtc.intra_threads);
   std::vector<double> beacon(n, 0.0);
-  for (graph::node_id u = 0; u < n; ++u) {
-    beacon[u] = std::pow(graph::node_radius(topology, positions, u, 0.0), pm.exponent());
-  }
+  pool.parallel_for(n, [&](std::size_t u) {
+    beacon[u] =
+        std::pow(graph::node_radius(topology, positions, static_cast<graph::node_id>(u), 0.0),
+                 pm.exponent());
+  });
   const graph::edge_cost_fn cost = graph::power_cost(positions, pm.exponent());
 
   lifetime_report res;
@@ -343,6 +413,8 @@ void dynamic_batch_report::accumulate(const dynamic_report& r) {
     repair_latency.add(r.repair_latency_mean);
     repair_latency_max.add(r.repair_latency_max);
   }
+  field_disruptions.add(static_cast<double>(r.field_disruptions));
+  field_downtime.add(r.field_downtime);
   time_to_partition.add(r.time_to_partition);
   live_nodes.add(static_cast<double>(r.live_nodes));
   if (!r.samples.empty()) {
@@ -373,6 +445,8 @@ void dynamic_batch_report::merge(const dynamic_batch_report& other) {
   disruptions.merge(other.disruptions);
   repair_latency.merge(other.repair_latency);
   repair_latency_max.merge(other.repair_latency_max);
+  field_disruptions.merge(other.field_disruptions);
+  field_downtime.merge(other.field_downtime);
   time_to_partition.merge(other.time_to_partition);
   final_edges.merge(other.final_edges);
   final_degree.merge(other.final_degree);

@@ -14,6 +14,7 @@
 #include "graph/interference.h"
 #include "graph/metrics.h"
 #include "graph/robustness.h"
+#include "util/parallel.h"
 
 namespace cbtc::api {
 namespace {
@@ -101,7 +102,13 @@ Batch stream_batch(seed_range seeds, unsigned num_threads, const RunOne& run_one
 }  // namespace
 
 run_report engine::run(const scenario_spec& spec, std::uint64_t seed) const {
-  const std::vector<geom::vec2> positions = spec.make_positions(seed);
+  return run_internal(spec, seed, nullptr, nullptr);
+}
+
+run_report engine::run_internal(const scenario_spec& spec, std::uint64_t seed,
+                                std::vector<geom::vec2>* positions_out,
+                                graph::undirected_graph* max_power_out) const {
+  std::vector<geom::vec2> positions = spec.make_positions(seed);
   const radio::power_model pm = spec.power();
   const double R = pm.max_range();
 
@@ -109,7 +116,7 @@ run_report engine::run(const scenario_spec& spec, std::uint64_t seed) const {
   r.seed = seed;
   r.nodes = positions.size();
 
-  const graph::undirected_graph gr = graph::build_max_power_graph(positions, R);
+  graph::undirected_graph gr = graph::build_max_power_graph(positions, R);
   r.max_power_edges = gr.num_edges();
 
   const auto adopt = [&r](algo::topology_result t) {
@@ -155,6 +162,7 @@ run_report engine::run(const scenario_spec& spec, std::uint64_t seed) const {
 
   const bool nominal_max_power = spec.method.k == method_spec::kind::baseline &&
                                  spec.method.baseline == baseline_kind::max_power;
+  util::thread_pool pool(spec.cbtc.intra_threads);
   r.node_powers.resize(r.nodes);
   if (nominal_max_power) {
     // No topology control: every node transmits at maximum power, so
@@ -163,20 +171,36 @@ run_report engine::run(const scenario_spec& spec, std::uint64_t seed) const {
     r.avg_radius = r.nodes == 0 ? 0.0 : R;
     r.max_radius = r.nodes == 0 ? 0.0 : R;
   } else {
-    double radius_sum = 0.0;
-    for (std::size_t u = 0; u < r.nodes; ++u) {
-      const double rad = graph::node_radius(r.topology, positions, u, R);
-      r.node_powers[u] = pm.required_power(rad);
-      radius_sum += rad;
-      r.max_radius = std::max(r.max_radius, rad);
-    }
-    r.avg_radius = r.nodes == 0 ? 0.0 : radius_sum / static_cast<double>(r.nodes);
+    // Per-node radius pass: powers land per slot, the sum/max reduce in
+    // fixed block order — identical output for any intra_threads.
+    struct radius_partial {
+      double sum{0.0};
+      double max{0.0};
+    };
+    const radius_partial radii = pool.reduce<radius_partial>(
+        r.nodes, {},
+        [&](std::size_t lo, std::size_t hi) {
+          radius_partial part;
+          for (std::size_t u = lo; u < hi; ++u) {
+            const double rad = graph::node_radius(r.topology, positions, u, R);
+            r.node_powers[u] = pm.required_power(rad);
+            part.sum += rad;
+            part.max = std::max(part.max, rad);
+          }
+          return part;
+        },
+        [](radius_partial& total, const radius_partial& p) {
+          total.sum += p.sum;
+          total.max = std::max(total.max, p.max);
+        });
+    r.max_radius = radii.max;
+    r.avg_radius = r.nodes == 0 ? 0.0 : radii.sum / static_cast<double>(r.nodes);
   }
   double power_sum = 0.0;
   for (const double p : r.node_powers) power_sum += p;
   r.avg_power = r.nodes == 0 ? 0.0 : power_sum / static_cast<double>(r.nodes);
 
-  r.invariants = algo::check_invariants(r.topology, positions, R);
+  r.invariants = algo::check_invariants(r.topology, positions, R, gr, pool);
 
   if (spec.metrics.stretch) {
     const graph::stretch_stats ps =
@@ -196,6 +220,9 @@ run_report engine::run(const scenario_spec& spec, std::uint64_t seed) const {
   if (spec.metrics.robustness) {
     r.cut_vertices = graph::articulation_points(r.topology).size();
   }
+  // Last use of both: hand them off without copying (large instances).
+  if (positions_out) *positions_out = std::move(positions);
+  if (max_power_out) *max_power_out = std::move(gr);
   return r;
 }
 

@@ -72,6 +72,14 @@ class engine {
   /// round (beacons + routed flows) until the field partitions.
   [[nodiscard]] lifetime_report run_lifetime(const scenario_spec& spec, const lifetime_spec& life,
                                              std::uint64_t seed = 0) const;
+
+ private:
+  /// `run` with the instance's deployment and max-power graph handed
+  /// back, so callers that need them (run_lifetime) reuse instead of
+  /// recomputing. Either out-pointer may be null.
+  run_report run_internal(const scenario_spec& spec, std::uint64_t seed,
+                          std::vector<geom::vec2>* positions_out,
+                          graph::undirected_graph* max_power_out) const;
 };
 
 }  // namespace cbtc::api

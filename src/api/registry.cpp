@@ -81,6 +81,79 @@ std::map<std::string, scenario_spec, std::less<>> built_ins() {
   return reg;
 }
 
+/// The built-in dynamic presets (scenario + sim composed).
+std::map<std::string, dynamic_scenario, std::less<>> dynamic_built_ins() {
+  std::map<std::string, dynamic_scenario, std::less<>> reg;
+  const auto put = [&reg](dynamic_scenario d) {
+    reg.insert_or_assign(d.scenario.name, std::move(d));
+  };
+
+  {
+    // The canonical churn demo: mobile nodes under random crashes
+    // (mirrors examples/scenarios/mobile_churn.json).
+    dynamic_scenario d;
+    d.scenario = named("mobile_churn");
+    d.scenario.deploy = {.kind = deployment_kind::uniform, .nodes = 40, .region_side = 1200.0};
+    d.scenario.method = method_spec::protocol();
+    d.scenario.cbtc.mode = algo::growth_mode::discrete;
+    d.scenario.protocol.agent.round_timeout = 0.25;
+    d.scenario.protocol.channel.base_delay = 0.01;
+    d.sim.horizon = 90.0;
+    d.sim.settle = 15.0;
+    d.sim.sample_every = 5.0;
+    d.sim.mobility = {.kind = mobility_kind::random_waypoint,
+                      .min_speed = 1.5,
+                      .max_speed = 4.0,
+                      .tick = 0.5,
+                      .start = 15.0,
+                      .until = 60.0};
+    d.sim.failures = {.random_crashes = 4, .window_begin = 20.0, .window_end = 40.0};
+    put(std::move(d));
+  }
+  {
+    // Section 4's partition-rejoin scenario: one node crashes after
+    // settle and restarts later; beacon powers must let it rejoin.
+    dynamic_scenario d;
+    d.scenario = named("crash_recovery");
+    d.scenario.deploy = {.kind = deployment_kind::uniform, .nodes = 30, .region_side = 1000.0};
+    d.scenario.method = method_spec::protocol();
+    d.scenario.cbtc.mode = algo::growth_mode::discrete;
+    d.scenario.protocol.agent.round_timeout = 0.25;
+    d.scenario.protocol.channel.base_delay = 0.01;
+    d.sim.horizon = 45.0;
+    d.sim.settle = 12.0;
+    d.sim.sample_every = 1.0;
+    d.sim.failures.events.push_back({.node = 3, .time = 20.0, .restart = false});
+    d.sim.failures.events.push_back({.node = 3, .time = 28.0, .restart = true});
+    put(std::move(d));
+  }
+  {
+    // Dense sampling over a clustered field with slow drift: the
+    // workload the incremental live-neighbor index is built for.
+    dynamic_scenario d;
+    d.scenario = named("dense_mobile_field");
+    d.scenario.deploy = {.kind = deployment_kind::cluster,
+                         .nodes = 120,
+                         .region_side = 1500.0,
+                         .clusters = 4,
+                         .cluster_sigma = 180.0};
+    d.scenario.method = method_spec::protocol();
+    d.scenario.cbtc.mode = algo::growth_mode::discrete;
+    d.scenario.protocol.agent.round_timeout = 0.25;
+    d.scenario.protocol.channel.base_delay = 0.01;
+    d.sim.horizon = 60.0;
+    d.sim.settle = 15.0;
+    d.sim.sample_every = 1.0;
+    d.sim.mobility = {.kind = mobility_kind::random_waypoint,
+                      .min_speed = 0.5,
+                      .max_speed = 2.0,
+                      .tick = 0.5,
+                      .start = 15.0};
+    put(std::move(d));
+  }
+  return reg;
+}
+
 std::mutex& registry_mutex() {
   static std::mutex m;
   return m;
@@ -88,6 +161,11 @@ std::mutex& registry_mutex() {
 
 std::map<std::string, scenario_spec, std::less<>>& registry() {
   static std::map<std::string, scenario_spec, std::less<>> reg = built_ins();
+  return reg;
+}
+
+std::map<std::string, dynamic_scenario, std::less<>>& dynamic_registry() {
+  static std::map<std::string, dynamic_scenario, std::less<>> reg = dynamic_built_ins();
   return reg;
 }
 
@@ -119,6 +197,35 @@ std::vector<std::string> scenario_names() {
   std::vector<std::string> names;
   names.reserve(registry().size());
   for (const auto& [name, spec] : registry()) names.push_back(name);
+  return names;
+}
+
+void register_dynamic_scenario(dynamic_scenario preset) {
+  if (preset.scenario.name.empty()) {
+    throw std::invalid_argument("register_dynamic_scenario: scenario name must not be empty");
+  }
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  dynamic_registry().insert_or_assign(preset.scenario.name, std::move(preset));
+}
+
+std::optional<dynamic_scenario> find_dynamic_scenario(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto& reg = dynamic_registry();
+  const auto it = reg.find(name);
+  if (it == reg.end()) return std::nullopt;
+  return it->second;
+}
+
+dynamic_scenario get_dynamic_scenario(std::string_view name) {
+  if (auto d = find_dynamic_scenario(name)) return *std::move(d);
+  throw std::out_of_range("unknown dynamic scenario: " + std::string(name));
+}
+
+std::vector<std::string> dynamic_scenario_names() {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<std::string> names;
+  names.reserve(dynamic_registry().size());
+  for (const auto& [name, preset] : dynamic_registry()) names.push_back(name);
   return names;
 }
 

@@ -1,6 +1,6 @@
 // Named-scenario registry: canonical workloads, one registration away.
 //
-// Built-in names (see registry.cpp for the exact parameters):
+// Static built-in names (see registry.cpp for the exact parameters):
 //   paper_table1       — the paper's Section 5 workload, all
 //                        optimizations, alpha = 5*pi/6 (Table 1's
 //                        headline configuration)
@@ -13,8 +13,18 @@
 //                        node heavy)
 //   grid_mesh          — 144 nodes on a jittered grid (planned mesh)
 //
-// New workloads register at runtime with `register_scenario`; names are
-// unique and registration overwrites.
+// Dynamic built-ins (scenario + sim_spec presets; `cbtc_cli scenarios`
+// lists both families):
+//   mobile_churn       — 40 protocol nodes, random-waypoint motion,
+//                        4 random crashes (the canonical churn demo)
+//   crash_recovery     — static field, crash + restart of one node
+//                        (Section 4's partition-rejoin scenario)
+//   dense_mobile_field — 120 clustered nodes, slow waypoint drift,
+//                        densely sampled
+//
+// New workloads register at runtime with `register_scenario` /
+// `register_dynamic_scenario`; names are unique per family and
+// registration overwrites.
 #pragma once
 
 #include <optional>
@@ -23,6 +33,7 @@
 #include <vector>
 
 #include "api/scenario.h"
+#include "api/sim_spec.h"
 
 namespace cbtc::api {
 
@@ -38,5 +49,25 @@ void register_scenario(scenario_spec spec);
 
 /// All registered names, sorted.
 [[nodiscard]] std::vector<std::string> scenario_names();
+
+/// A named dynamic workload: deployment + radio + method (the static
+/// scenario) composed with what happens after deployment (the sim).
+struct dynamic_scenario {
+  scenario_spec scenario{};
+  sim_spec sim{};
+};
+
+/// Registers (or replaces) a dynamic preset under
+/// `preset.scenario.name`. Throws std::invalid_argument if empty.
+void register_dynamic_scenario(dynamic_scenario preset);
+
+/// Looks a dynamic preset up by name; nullopt when unknown.
+[[nodiscard]] std::optional<dynamic_scenario> find_dynamic_scenario(std::string_view name);
+
+/// Like find_dynamic_scenario but throws std::out_of_range.
+[[nodiscard]] dynamic_scenario get_dynamic_scenario(std::string_view name);
+
+/// All registered dynamic preset names, sorted.
+[[nodiscard]] std::vector<std::string> dynamic_scenario_names();
 
 }  // namespace cbtc::api

@@ -162,17 +162,25 @@ struct dynamic_report {
   sim::medium_stats channel{};
 
   // -- topology-repair latency --------------------------------------
-  // A disruption starts when a sample sees connectivity_ok flip false
-  // and ends at the first later sample where it holds again; latency
-  // resolution is sim_spec::sample_every.
+  // Connectivity (live topology vs the survivors' G_R) is re-evaluated
+  // at every event that touched the live-neighbor index (mobility
+  // tick, crash, restart) or an agent's neighbor table, so disruption
+  // windows carry event timestamps, not sample-cadence timestamps.
   std::size_t disruptions{0};        ///< repaired disruptions
   std::size_t unrepaired{0};         ///< still broken at the horizon
   double repair_latency_mean{0.0};   ///< over repaired disruptions
   double repair_latency_max{0.0};
 
+  // -- field (G_R) disruption windows -------------------------------
+  // From the event-driven union-find connectivity monitor on the
+  // live-neighbor index: exact times the survivors' max-power graph
+  // split and healed.
+  std::size_t field_disruptions{0};  ///< G_R split episodes that healed
+  double field_downtime{0.0};        ///< total time the live field was split
+
   // -- lifetime to partition ----------------------------------------
-  /// First sample time where the survivors' G_R is split (horizon if
-  /// it never splits — check `partitioned`).
+  /// First instant the survivors' G_R splits (exact, event-driven;
+  /// horizon if it never splits — check `partitioned`).
   double time_to_partition{0.0};
   bool partitioned{false};
 
@@ -201,6 +209,8 @@ struct dynamic_batch_report {
   exp::summary disruptions;
   exp::summary repair_latency;      ///< per-run means
   exp::summary repair_latency_max;  ///< per-run maxima
+  exp::summary field_disruptions;
+  exp::summary field_downtime;
   exp::summary time_to_partition;
   exp::summary final_edges;
   exp::summary final_degree;

@@ -1,0 +1,90 @@
+#include "geom/dynamic_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cbtc::geom {
+namespace {
+
+/// Packs a signed cell coordinate pair into one hashable key. The
+/// offset keeps coordinates non-negative for any realistic region.
+constexpr std::uint64_t pack(std::int64_t cx, std::int64_t cy) {
+  constexpr std::int64_t offset = std::int64_t{1} << 31;
+  return (static_cast<std::uint64_t>(cx + offset) << 32) |
+         static_cast<std::uint64_t>((cy + offset) & 0xffffffff);
+}
+
+}  // namespace
+
+dynamic_grid::dynamic_grid(double cell_size) : cell_(cell_size) {
+  if (cell_size <= 0.0) throw std::invalid_argument("dynamic_grid: cell_size must be positive");
+}
+
+std::uint64_t dynamic_grid::cell_key_of(const vec2& p) const {
+  return pack(static_cast<std::int64_t>(std::floor(p.x / cell_)),
+              static_cast<std::int64_t>(std::floor(p.y / cell_)));
+}
+
+void dynamic_grid::insert(point_index i, const vec2& p) {
+  if (contains(i)) throw std::logic_error("dynamic_grid::insert: point already present");
+  if (i >= present_.size()) {
+    positions_.resize(i + 1);
+    present_.resize(i + 1, false);
+    cell_key_.resize(i + 1, 0);
+  }
+  positions_[i] = p;
+  present_[i] = true;
+  const std::uint64_t key = cell_key_of(p);
+  cell_key_[i] = key;
+  cells_[key].push_back(i);
+  ++count_;
+}
+
+void dynamic_grid::drop_from_cell(point_index i, std::uint64_t key) {
+  const auto it = cells_.find(key);
+  std::vector<point_index>& bucket = it->second;
+  bucket.erase(std::find(bucket.begin(), bucket.end(), i));
+  if (bucket.empty()) cells_.erase(it);
+}
+
+void dynamic_grid::erase(point_index i) {
+  if (!contains(i)) throw std::logic_error("dynamic_grid::erase: point not present");
+  drop_from_cell(i, cell_key_[i]);
+  present_[i] = false;
+  --count_;
+}
+
+void dynamic_grid::move(point_index i, const vec2& p) {
+  if (!contains(i)) throw std::logic_error("dynamic_grid::move: point not present");
+  positions_[i] = p;
+  const std::uint64_t key = cell_key_of(p);
+  if (key != cell_key_[i]) {
+    drop_from_cell(i, cell_key_[i]);
+    cell_key_[i] = key;
+    cells_[key].push_back(i);
+  }
+}
+
+void dynamic_grid::query_radius_into(const vec2& center, double radius, point_index exclude,
+                                     std::vector<point_index>& out) const {
+  if (count_ == 0 || radius < 0.0) return;
+  const double r_sq = radius * radius;
+  const auto cx_lo = static_cast<std::int64_t>(std::floor((center.x - radius) / cell_));
+  const auto cx_hi = static_cast<std::int64_t>(std::floor((center.x + radius) / cell_));
+  const auto cy_lo = static_cast<std::int64_t>(std::floor((center.y - radius) / cell_));
+  const auto cy_hi = static_cast<std::int64_t>(std::floor((center.y + radius) / cell_));
+
+  for (std::int64_t cy = cy_lo; cy <= cy_hi; ++cy) {
+    for (std::int64_t cx = cx_lo; cx <= cx_hi; ++cx) {
+      const auto it = cells_.find(pack(cx, cy));
+      if (it == cells_.end()) continue;
+      for (const point_index i : it->second) {
+        if (i == exclude) continue;
+        if (distance_sq(positions_[i], center) <= r_sq) out.push_back(i);
+      }
+    }
+  }
+}
+
+}  // namespace cbtc::geom

@@ -1,0 +1,62 @@
+// Mutable uniform-grid spatial index for fixed-radius neighbor queries
+// under motion and churn.
+//
+// geom::spatial_grid is an immutable CSR snapshot — perfect for one
+// static instance, useless when positions change every mobility tick.
+// dynamic_grid keeps the same query semantics (distance <= radius,
+// same arithmetic, so results match spatial_grid / the brute-force
+// reference exactly) but supports O(k) incremental insert / erase /
+// move. Cells are hashed, not laid out over a bounding box, so points
+// may wander anywhere in the plane.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/spatial_grid.h"
+#include "geom/vec2.h"
+
+namespace cbtc::geom {
+
+class dynamic_grid {
+ public:
+  /// `cell_size` should be on the order of the typical query radius;
+  /// it must be positive.
+  explicit dynamic_grid(double cell_size);
+
+  /// Registers point `i` at `p`. `i` must not currently be present
+  /// (ids may be re-inserted after erase).
+  void insert(point_index i, const vec2& p);
+
+  /// Removes point `i` from the index (its id may be re-inserted later).
+  void erase(point_index i);
+
+  /// Updates the position of present point `i`.
+  void move(point_index i, const vec2& p);
+
+  [[nodiscard]] bool contains(point_index i) const {
+    return i < present_.size() && present_[i];
+  }
+  [[nodiscard]] const vec2& position(point_index i) const { return positions_[i]; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] double cell_size() const { return cell_; }
+
+  /// Appends every present point with distance(center, p) <= radius to
+  /// `out`, excluding `exclude` (pass spatial_grid::npos to keep all).
+  void query_radius_into(const vec2& center, double radius, point_index exclude,
+                         std::vector<point_index>& out) const;
+
+ private:
+  [[nodiscard]] std::uint64_t cell_key_of(const vec2& p) const;
+  void drop_from_cell(point_index i, std::uint64_t key);
+
+  double cell_;
+  std::size_t count_{0};
+  std::vector<vec2> positions_;          // indexed by point id
+  std::vector<bool> present_;
+  std::vector<std::uint64_t> cell_key_;  // current cell of each present point
+  std::unordered_map<std::uint64_t, std::vector<point_index>> cells_;
+};
+
+}  // namespace cbtc::geom

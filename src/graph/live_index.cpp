@@ -1,0 +1,151 @@
+#include "graph/live_index.h"
+
+#include <algorithm>
+
+namespace cbtc::graph {
+
+live_neighbor_index::live_neighbor_index(std::span<const geom::vec2> positions, double max_range)
+    : max_range_(max_range),
+      grid_(max_range > 0.0 ? max_range : 1.0),
+      positions_(positions.begin(), positions.end()),
+      live_(positions.size(), true),
+      live_count_(positions.size()),
+      adj_(positions.size()) {
+  if (max_range <= 0.0) return;  // degenerate radio: no edges ever
+  // Insert points one at a time and query before inserting, so every
+  // in-range pair links exactly once.
+  for (node_id u = 0; u < positions_.size(); ++u) {
+    scratch_.clear();
+    grid_.query_radius_into(positions_[u], max_range_, geom::spatial_grid::npos, scratch_);
+    grid_.insert(u, positions_[u]);
+    for (const geom::point_index v : scratch_) link(u, v);
+  }
+}
+
+void live_neighbor_index::link(node_id u, node_id v) {
+  auto& au = adj_[u];
+  au.insert(std::lower_bound(au.begin(), au.end(), v), v);
+  auto& av = adj_[v];
+  av.insert(std::lower_bound(av.begin(), av.end(), u), u);
+  ++num_edges_;
+  ++version_;
+  if (observer_) observer_(std::min(u, v), std::max(u, v), true);
+}
+
+void live_neighbor_index::unlink(node_id u, node_id v) {
+  auto& au = adj_[u];
+  au.erase(std::lower_bound(au.begin(), au.end(), v));
+  auto& av = adj_[v];
+  av.erase(std::lower_bound(av.begin(), av.end(), u));
+  --num_edges_;
+  ++version_;
+  if (observer_) observer_(std::min(u, v), std::max(u, v), false);
+}
+
+void live_neighbor_index::move(node_id u, const geom::vec2& p) {
+  positions_[u] = p;
+  // The medium keeps moving crashed nodes; they re-enter the index at
+  // their restart position, so only the stored position updates here.
+  if (!live_[u]) return;
+  grid_.move(u, p);
+
+  scratch_.clear();
+  grid_.query_radius_into(p, max_range_, u, scratch_);
+  std::sort(scratch_.begin(), scratch_.end());
+
+  // Diff the sorted old and new neighbor sets.
+  const std::vector<node_id> old = adj_[u];
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < old.size() || j < scratch_.size()) {
+    if (j == scratch_.size() || (i < old.size() && old[i] < scratch_[j])) {
+      unlink(u, old[i]);
+      ++i;
+    } else if (i == old.size() || scratch_[j] < old[i]) {
+      link(u, scratch_[j]);
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+}
+
+void live_neighbor_index::erase(node_id u) {
+  if (!live_[u]) return;
+  const std::vector<node_id> nbrs = adj_[u];
+  for (const node_id v : nbrs) unlink(u, v);
+  grid_.erase(u);
+  live_[u] = false;
+  --live_count_;
+  ++version_;
+  if (node_observer_) node_observer_(u, false);
+}
+
+void live_neighbor_index::insert(node_id u, const geom::vec2& p) {
+  if (live_[u]) return;
+  positions_[u] = p;
+  grid_.insert(u, p);
+  live_[u] = true;
+  ++live_count_;
+  ++version_;
+  if (node_observer_) node_observer_(u, true);
+  scratch_.clear();
+  grid_.query_radius_into(p, max_range_, u, scratch_);
+  std::sort(scratch_.begin(), scratch_.end());
+  for (const geom::point_index v : scratch_) link(u, v);
+}
+
+undirected_graph live_neighbor_index::graph() const {
+  undirected_graph g(adj_.size());
+  for (node_id u = 0; u < adj_.size(); ++u) {
+    for (const node_id v : adj_[u]) {
+      if (u < v) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+connectivity_monitor::connectivity_monitor(live_neighbor_index& index)
+    : index_(index), uf_(index.num_nodes()) {
+  index_.set_observer([this](node_id u, node_id v, bool added) {
+    if (added) {
+      if (!stale_) uf_.unite(u, v);
+    } else {
+      stale_ = true;  // union-find cannot un-merge; rebuild lazily
+    }
+  });
+  index_.set_node_observer([this](node_id, bool) {
+    // A crash orphans its old unions; a restart revives a node whose
+    // stale root may predate its crash. Both invalidate the forest.
+    stale_ = true;
+  });
+}
+
+void connectivity_monitor::rebuild() {
+  uf_ = union_find(index_.num_nodes());
+  for (node_id u = 0; u < index_.num_nodes(); ++u) {
+    if (!index_.is_live(u)) continue;
+    for (const node_id v : index_.neighbors(u)) {
+      if (u < v) uf_.unite(u, v);
+    }
+  }
+  stale_ = false;
+}
+
+bool connectivity_monitor::connected() {
+  if (index_.live_count() <= 1) return true;
+  if (stale_) rebuild();
+  node_id first = invalid_node;
+  for (node_id u = 0; u < index_.num_nodes(); ++u) {
+    if (!index_.is_live(u)) continue;
+    if (first == invalid_node) {
+      first = u;
+    } else if (!uf_.same(u, first)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cbtc::graph

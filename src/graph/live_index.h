@@ -1,0 +1,119 @@
+// Incrementally maintained live max-power graph G_R.
+//
+// Dynamic runs used to rebuild the full max-power graph from scratch
+// at every metric sample. live_neighbor_index instead maintains the
+// live G_R — nodes that are up, edges between live nodes at distance
+// <= max_range — incrementally from the event stream (mobility moves,
+// crashes, restarts), each update costing O(neighborhood) via a
+// mutable spatial grid. The maintained edge set is exactly
+// build_max_power_graph(positions, R).induced(up): same arithmetic,
+// same inclusive <= comparison (tests assert edge identity after
+// arbitrary event sequences).
+//
+// connectivity_monitor sits on top and answers "is the live field one
+// component?" at event granularity: edge additions are united into a
+// union-find immediately; removals (and liveness changes) mark it
+// stale and the next query rebuilds from the maintained adjacency —
+// O(n + m) without any geometry, far cheaper than a graph rebuild.
+// This is what turns sample-granularity partition detection into
+// exact disruption windows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "geom/dynamic_grid.h"
+#include "geom/vec2.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "graph/union_find.h"
+
+namespace cbtc::graph {
+
+class live_neighbor_index {
+ public:
+  /// Called for every edge delta: (u, v, true) when {u, v} appears,
+  /// (u, v, false) when it disappears. u < v always.
+  using edge_observer = std::function<void(node_id, node_id, bool)>;
+
+  /// Builds the index over `positions`, all nodes initially up.
+  live_neighbor_index(std::span<const geom::vec2> positions, double max_range);
+
+  /// Moves live node `u` (no-op edge-wise when nothing enters or
+  /// leaves its range).
+  void move(node_id u, const geom::vec2& p);
+
+  /// Marks `u` down and drops its incident edges.
+  void erase(node_id u);
+
+  /// Marks `u` up again at position `p` and restores its edges.
+  void insert(node_id u, const geom::vec2& p);
+
+  [[nodiscard]] bool is_live(node_id u) const { return live_[u]; }
+  [[nodiscard]] std::size_t num_nodes() const { return live_.size(); }
+  [[nodiscard]] std::size_t live_count() const { return live_count_; }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+
+  /// Bumped by every edge delta and liveness flip. A move that left
+  /// the version unchanged provably changed neither the live G_R nor
+  /// the live set, so observers can skip re-evaluating connectivity.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  [[nodiscard]] const geom::vec2& position(node_id u) const { return positions_[u]; }
+
+  /// Sorted live neighbors of `u` (empty when down).
+  [[nodiscard]] std::span<const node_id> neighbors(node_id u) const { return adj_[u]; }
+
+  /// Snapshot as an undirected_graph (down nodes isolated); edge-set
+  /// identical to build_max_power_graph(positions, R).induced(up).
+  [[nodiscard]] undirected_graph graph() const;
+
+  /// Installs the (single) edge observer. Pass {} to detach.
+  void set_observer(edge_observer obs) { observer_ = std::move(obs); }
+
+  /// Called after a liveness flip: (u, true) on insert, (u, false) on
+  /// erase. Edge deltas for the flip arrive through the edge observer.
+  using node_observer = std::function<void(node_id, bool)>;
+  void set_node_observer(node_observer obs) { node_observer_ = std::move(obs); }
+
+ private:
+  void link(node_id u, node_id v);
+  void unlink(node_id u, node_id v);
+
+  double max_range_;
+  std::uint64_t version_{0};
+  geom::dynamic_grid grid_;
+  std::vector<geom::vec2> positions_;
+  std::vector<bool> live_;
+  std::size_t live_count_{0};
+  std::size_t num_edges_{0};
+  std::vector<std::vector<node_id>> adj_;  // sorted, live endpoints only
+  edge_observer observer_;
+  node_observer node_observer_;
+  std::vector<geom::point_index> scratch_;
+};
+
+/// Event-driven union-find connectivity monitor over a
+/// live_neighbor_index (see header comment). Installs itself as the
+/// index's edge observer; the index must outlive the monitor.
+class connectivity_monitor {
+ public:
+  explicit connectivity_monitor(live_neighbor_index& index);
+
+  /// True when every live node lies in one component of the live G_R
+  /// (trivially true for fewer than two live nodes). Amortized O(1)
+  /// while edges only appear; O(n + m) rebuild after a removal.
+  [[nodiscard]] bool connected();
+
+ private:
+  void rebuild();
+
+  live_neighbor_index& index_;
+  union_find uf_;
+  std::size_t live_at_build_{0};
+  bool stale_{true};
+};
+
+}  // namespace cbtc::graph

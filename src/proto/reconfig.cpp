@@ -51,6 +51,7 @@ void reconfig_agent::on_join(node_id v, const ndp_entry& e) {
   if (cfg_.shrink_back && !regrowing_) {
     stats_.prunes += cbtc_->prune_shrink_back();
   }
+  if (change_hook_) change_hook_();
 }
 
 void reconfig_agent::on_leave(node_id v) {
@@ -59,8 +60,12 @@ void reconfig_agent::on_leave(node_id v) {
   if (cbtc_->has_gap() && !regrowing_) {
     ++stats_.regrows;
     regrowing_ = true;
-    cbtc_->regrow(cbtc_->coverage_power(), [this] { regrowing_ = false; });
+    cbtc_->regrow(cbtc_->coverage_power(), [this] {
+      regrowing_ = false;
+      if (change_hook_) change_hook_();
+    });
   }
+  if (change_hook_) change_hook_();
 }
 
 void reconfig_agent::on_achange(node_id v, const ndp_entry& e) {
@@ -73,14 +78,19 @@ void reconfig_agent::on_achange(node_id v, const ndp_entry& e) {
     info.discovery_power = e.required_power;
     return info;
   }());
-  if (regrowing_) return;
-  if (cbtc_->has_gap()) {
-    ++stats_.regrows;
-    regrowing_ = true;
-    cbtc_->regrow(cbtc_->coverage_power(), [this] { regrowing_ = false; });
-  } else if (cfg_.shrink_back) {
-    stats_.prunes += cbtc_->prune_shrink_back();
+  if (!regrowing_) {
+    if (cbtc_->has_gap()) {
+      ++stats_.regrows;
+      regrowing_ = true;
+      cbtc_->regrow(cbtc_->coverage_power(), [this] {
+        regrowing_ = false;
+        if (change_hook_) change_hook_();
+      });
+    } else if (cfg_.shrink_back) {
+      stats_.prunes += cbtc_->prune_shrink_back();
+    }
   }
+  if (change_hook_) change_hook_();
 }
 
 }  // namespace cbtc::proto

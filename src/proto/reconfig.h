@@ -56,6 +56,13 @@ class reconfig_agent {
   };
   [[nodiscard]] const counters& stats() const { return stats_; }
 
+  /// Fires after this agent's neighbor table changed: on every
+  /// join / leave / aChange rule application and when a regrow
+  /// completes. Lets observers (e.g. the engine's event-driven
+  /// connectivity tracker) re-evaluate topology properties at event
+  /// granularity instead of waiting for the next metric sample.
+  void set_change_hook(std::function<void()> hook) { change_hook_ = std::move(hook); }
+
  private:
   void on_join(node_id v, const ndp_entry& e);
   void on_leave(node_id v);
@@ -67,6 +74,7 @@ class reconfig_agent {
   std::unique_ptr<cbtc_agent> cbtc_;
   std::unique_ptr<ndp_agent> ndp_;
   counters stats_;
+  std::function<void()> change_hook_;
   bool regrowing_{false};
 };
 

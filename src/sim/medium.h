@@ -60,8 +60,19 @@ class medium {
   [[nodiscard]] std::size_t num_nodes() const { return positions_.size(); }
   [[nodiscard]] const geom::vec2& position(node_id u) const { return positions_[u]; }
   [[nodiscard]] const std::vector<geom::vec2>& positions() const { return positions_; }
-  void set_position(node_id u, const geom::vec2& p) { positions_[u] = p; }
+  void set_position(node_id u, const geom::vec2& p) {
+    positions_[u] = p;
+    if (move_hook_) move_hook_(u, p);
+  }
   void set_handler(node_id u, rx_handler handler) { handlers_[u] = std::move(handler); }
+
+  /// Observation hooks for engines that mirror medium state (e.g. an
+  /// incremental live-neighbor index): `move` fires after every
+  /// position update, `liveness` after every actual up/down flip.
+  using move_hook = std::function<void(node_id, const geom::vec2&)>;
+  using liveness_hook = std::function<void(node_id, bool)>;
+  void set_move_hook(move_hook h) { move_hook_ = std::move(h); }
+  void set_liveness_hook(liveness_hook h) { liveness_hook_ = std::move(h); }
 
   /// bcast(u, p, m): schedules delivery to every live node in range.
   void broadcast(node_id from, double tx_power, std::any payload);
@@ -71,8 +82,16 @@ class medium {
   void unicast(node_id from, node_id to, double tx_power, std::any payload);
 
   /// Crash / recover (Section 4 failure model).
-  void crash(node_id u) { up_[u] = false; }
-  void restart(node_id u) { up_[u] = true; }
+  void crash(node_id u) {
+    const bool was_up = up_[u];
+    up_[u] = false;
+    if (was_up && liveness_hook_) liveness_hook_(u, false);
+  }
+  void restart(node_id u) {
+    const bool was_up = up_[u];
+    up_[u] = true;
+    if (!was_up && liveness_hook_) liveness_hook_(u, true);
+  }
   [[nodiscard]] bool is_up(node_id u) const { return up_[u]; }
 
   [[nodiscard]] const radio::power_model& power() const { return power_; }
@@ -94,6 +113,8 @@ class medium {
   std::vector<bool> up_;
   std::vector<double> node_energy_;
   medium_stats stats_;
+  move_hook move_hook_;
+  liveness_hook liveness_hook_;
 };
 
 }  // namespace cbtc::sim

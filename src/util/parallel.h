@@ -1,0 +1,110 @@
+// Intra-instance parallelism: a small thread pool with parallel_for
+// and deterministic block-ordered reduction.
+//
+// The batch layer (api/engine.cpp) fans whole instances across
+// threads; this utility parallelizes *inside* one instance — the
+// per-node cone-growth loop of the oracle, the per-node metric loops —
+// without giving up reproducibility. The determinism recipe is the
+// same seed-block pattern the batch reducer uses:
+//
+//   * parallel_for writes each index's result into its own slot, so
+//     the outcome is independent of scheduling by construction;
+//   * reduce() folds a FIXED block size (`reduce_block`, independent of
+//     the thread count) into per-block partials and merges the
+//     partials in block order, so floating-point sums are bitwise
+//     identical whether 1 or 64 threads ran the loop.
+//
+// A pool with num_threads == 1 spawns no workers and runs everything
+// inline on the calling thread, so `intra_threads = 1` (the default)
+// is exactly the old serial code path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace cbtc::util {
+
+/// Resolves a thread-count knob: 0 means "hardware concurrency",
+/// anything else is clamped to at least 1.
+[[nodiscard]] unsigned resolve_threads(unsigned requested);
+
+/// Fixed work-block size for deterministic reductions. Independent of
+/// the thread count on purpose — see the header comment.
+inline constexpr std::size_t reduce_block = 1024;
+
+/// A blocking fork-join pool: workers are spawned once and reused for
+/// every parallel_for / reduce call on this pool. Not thread-safe —
+/// one caller drives one pool (calls from inside a body deadlock).
+class thread_pool {
+ public:
+  /// Spawns `resolve_threads(num_threads) - 1` workers (the calling
+  /// thread participates in every loop).
+  explicit thread_pool(unsigned num_threads);
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  /// Total threads that execute a loop (workers + the caller).
+  [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Runs body(i) for every i in [0, n), in parallel, and blocks until
+  /// all are done. The first exception thrown by any body is rethrown
+  /// on the caller (remaining work is abandoned).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Runs body(lo, hi) over [0, n) split into chunks of `chunk`
+  /// indices. parallel_for is this with per-index chunks coalesced.
+  void parallel_for_chunks(std::size_t n, std::size_t chunk,
+                           const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Deterministic block-ordered reduction: partials[b] =
+  /// per_block(lo_b, hi_b) over fixed `reduce_block`-sized blocks, then
+  /// merge(total, partials[b]) in ascending block order. The result
+  /// does not depend on the pool size.
+  template <class T, class PerBlock, class Merge>
+  [[nodiscard]] T reduce(std::size_t n, T init, const PerBlock& per_block, const Merge& merge) {
+    if (n == 0) return init;
+    const std::size_t blocks = (n + reduce_block - 1) / reduce_block;
+    std::vector<T> partials(blocks, init);
+    parallel_for_chunks(n, reduce_block, [&](std::size_t lo, std::size_t hi) {
+      partials[lo / reduce_block] = per_block(lo, hi);
+    });
+    T total = std::move(init);
+    for (const T& p : partials) merge(total, p);
+    return total;
+  }
+
+ private:
+  struct job {
+    std::size_t num_chunks{0};
+    std::size_t chunk{0};
+    std::size_t n{0};
+    const std::function<void(std::size_t, std::size_t)>* body{nullptr};
+    std::atomic<std::size_t> next{0};
+    int active{0};  // workers currently inside this job (guarded by mutex_)
+  };
+
+  void work_on(job& j);
+
+  std::vector<std::thread> workers_;
+  // Worker rendezvous: generation bumps when a new job is posted.
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_{0};
+  job* current_{nullptr};
+  bool stop_{false};
+  std::exception_ptr error_;
+  std::mutex error_mutex_;
+};
+
+}  // namespace cbtc::util

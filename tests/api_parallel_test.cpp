@@ -1,0 +1,196 @@
+// Intra-instance parallelism must be invisible in the results: one
+// scenario instance run with 1 thread and with 4 threads produces
+// bitwise-identical reports (growth, topology, every floating-point
+// metric), statically and dynamically. Plus unit coverage for the
+// util::thread_pool primitives the engine builds on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "api/api.h"
+#include "util/parallel.h"
+
+namespace cbtc::api {
+namespace {
+
+/// A 2000-node instance at the paper's density — big enough that the
+/// parallel growth loop spans many work chunks and the metric
+/// reductions span multiple fixed-size blocks.
+scenario_spec big_spec(unsigned intra_threads) {
+  scenario_spec spec;
+  spec.deploy = {.kind = deployment_kind::uniform, .nodes = 2000, .region_side = 6708.0};
+  spec.base_seed = 2024;
+  spec.cbtc.mode = algo::growth_mode::continuous;
+  spec.cbtc.intra_threads = intra_threads;
+  spec.opts = algo::optimization_set::all();
+  spec.metrics = {.stretch = false, .interference = false, .robustness = false};
+  return spec;
+}
+
+void expect_bitwise_equal(const run_report& a, const run_report& b) {
+  ASSERT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.topology, b.topology);
+  EXPECT_EQ(a.node_powers, b.node_powers);  // element-wise bitwise doubles
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.avg_degree, b.avg_degree);
+  EXPECT_EQ(a.avg_radius, b.avg_radius);
+  EXPECT_EQ(a.max_radius, b.max_radius);
+  EXPECT_EQ(a.avg_power, b.avg_power);
+  EXPECT_EQ(a.boundary_nodes, b.boundary_nodes);
+  EXPECT_EQ(a.removed_edges, b.removed_edges);
+  EXPECT_EQ(a.invariants.ok(), b.invariants.ok());
+  EXPECT_EQ(a.invariants.violations, b.invariants.violations);
+  ASSERT_EQ(a.has_growth, b.has_growth);
+  ASSERT_EQ(a.growth.nodes.size(), b.growth.nodes.size());
+  for (std::size_t u = 0; u < a.growth.nodes.size(); ++u) {
+    const auto& na = a.growth.nodes[u];
+    const auto& nb = b.growth.nodes[u];
+    EXPECT_EQ(na.boundary, nb.boundary) << "node " << u;
+    EXPECT_EQ(na.final_power, nb.final_power) << "node " << u;
+    ASSERT_EQ(na.neighbors.size(), nb.neighbors.size()) << "node " << u;
+    for (std::size_t i = 0; i < na.neighbors.size(); ++i) {
+      EXPECT_EQ(na.neighbors[i].id, nb.neighbors[i].id) << "node " << u;
+      EXPECT_EQ(na.neighbors[i].distance, nb.neighbors[i].distance) << "node " << u;
+    }
+  }
+}
+
+TEST(ApiParallel, StaticRunIsBitwiseIdenticalAcrossIntraThreads) {
+  const engine eng;
+  const run_report serial = eng.run(big_spec(1), 0);
+  const run_report parallel = eng.run(big_spec(4), 0);
+  expect_bitwise_equal(serial, parallel);
+  EXPECT_TRUE(serial.invariants.ok());
+}
+
+TEST(ApiParallel, DiscreteGrowthAlsoThreadCountInvariant) {
+  scenario_spec one = big_spec(1);
+  one.cbtc.mode = algo::growth_mode::discrete;
+  scenario_spec four = big_spec(4);
+  four.cbtc.mode = algo::growth_mode::discrete;
+  const engine eng;
+  expect_bitwise_equal(eng.run(one, 3), eng.run(four, 3));
+}
+
+TEST(ApiParallel, DynamicRunIsBitwiseIdenticalAcrossIntraThreads) {
+  scenario_spec spec;
+  spec.deploy = {.kind = deployment_kind::uniform, .nodes = 30, .region_side = 1100.0};
+  spec.base_seed = 515;
+  spec.method = method_spec::protocol();
+  spec.protocol.agent.round_timeout = 0.25;
+
+  sim_spec dyn;
+  dyn.horizon = 30.0;
+  dyn.settle = 10.0;
+  dyn.sample_every = 2.0;
+  dyn.mobility = {.kind = mobility_kind::random_waypoint,
+                  .min_speed = 1.0,
+                  .max_speed = 3.0,
+                  .tick = 0.5,
+                  .start = 10.0};
+  dyn.failures = {.random_crashes = 3, .window_begin = 12.0, .window_end = 20.0};
+
+  const engine eng;
+  scenario_spec four = spec;
+  four.cbtc.intra_threads = 4;
+  const dynamic_report a = eng.run_dynamic(spec, dyn, 1);
+  const dynamic_report b = eng.run_dynamic(four, dyn, 1);
+
+  EXPECT_EQ(a.final_topology, b.final_topology);
+  EXPECT_EQ(a.disruptions, b.disruptions);
+  EXPECT_EQ(a.repair_latency_mean, b.repair_latency_mean);
+  EXPECT_EQ(a.repair_latency_max, b.repair_latency_max);
+  EXPECT_EQ(a.field_disruptions, b.field_disruptions);
+  EXPECT_EQ(a.field_downtime, b.field_downtime);
+  EXPECT_EQ(a.time_to_partition, b.time_to_partition);
+  EXPECT_EQ(a.channel.broadcasts, b.channel.broadcasts);
+  EXPECT_EQ(a.channel.tx_energy, b.channel.tx_energy);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].edges, b.samples[i].edges) << "sample " << i;
+    EXPECT_EQ(a.samples[i].avg_radius, b.samples[i].avg_radius) << "sample " << i;  // bitwise
+    EXPECT_EQ(a.samples[i].connectivity_ok, b.samples[i].connectivity_ok) << "sample " << i;
+    EXPECT_EQ(a.samples[i].field_connected, b.samples[i].field_connected) << "sample " << i;
+  }
+}
+
+TEST(ApiParallel, LifetimeIsThreadCountInvariant) {
+  scenario_spec spec;
+  spec.deploy = {.kind = deployment_kind::uniform, .nodes = 50, .region_side = 1200.0};
+  spec.base_seed = 88;
+  spec.cbtc.mode = algo::growth_mode::continuous;
+  spec.opts = algo::optimization_set::all();
+  const lifetime_spec life{.battery_rounds = 25.0, .flows = 15, .max_rounds = 2000};
+  const engine eng;
+
+  const lifetime_report serial = eng.run_lifetime(spec, life, 0);
+  scenario_spec four = spec;
+  four.cbtc.intra_threads = 4;
+  const lifetime_report parallel = eng.run_lifetime(four, life, 0);
+  EXPECT_EQ(serial.first_death, parallel.first_death);
+  EXPECT_EQ(serial.quarter_dead, parallel.quarter_dead);
+  EXPECT_EQ(serial.field_partition, parallel.field_partition);
+}
+
+// ---- util::thread_pool unit coverage --------------------------------
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  util::thread_pool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ReduceIsIndependentOfThreadCount) {
+  // Sum of doubles whose result depends on association: blocked
+  // reduction must give the same bits for every pool size.
+  const std::size_t n = 10000;
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  const auto sum_with = [&](unsigned threads) {
+    util::thread_pool pool(threads);
+    return pool.reduce<double>(
+        n, 0.0,
+        [&](std::size_t lo, std::size_t hi) {
+          double s = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) s += values[i];
+          return s;
+        },
+        [](double& total, const double& part) { total += part; });
+  };
+  const double one = sum_with(1);
+  EXPECT_EQ(one, sum_with(2));
+  EXPECT_EQ(one, sum_with(4));
+  EXPECT_EQ(one, sum_with(8));
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  util::thread_pool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(1000,
+                        [&](std::size_t i) {
+                          if (i == 567) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<int> count{0};
+  pool.parallel_for(100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  util::thread_pool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  int sum = 0;  // no synchronization needed: everything is inline
+  pool.parallel_for(100, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 4950);
+}
+
+}  // namespace
+}  // namespace cbtc::api

@@ -115,11 +115,12 @@ int usage() {
       "  analyze   --in FILE.csv [--range R] [--exponent N]\n"
       "  compare   --in FILE.csv [--range R] [--exponent N]\n"
       "  sweep     --scenario NAME | --file SCENARIO.json\n"
-      "            [--seeds N] [--first N] [--threads T]\n"
+      "            [--seeds N] [--first N] [--threads T] [--intra-threads T]\n"
       "            [--method oracle|protocol|mst|rng|gabriel|yao|knn|max-power]\n"
       "            [--alpha RAD] [--nodes N] [--region S] [--range R]\n"
       "            [--save FILE.json]  (write the resolved scenario, don't run)\n"
-      "  sweep     --list           (show registered scenarios)\n";
+      "  sweep     --list           (show registered scenarios)\n"
+      "  scenarios                  (list static and dynamic registries)\n";
   return 2;
 }
 
@@ -285,6 +286,8 @@ int print_dynamic_sweep(const api::scenario_spec& spec, const api::dynamic_batch
   row("disruptions", b.disruptions, 1);
   row("repair latency (mean)", b.repair_latency);
   row("repair latency (max)", b.repair_latency_max);
+  row("field disruptions", b.field_disruptions, 1);
+  row("field downtime", b.field_downtime);
   row("time to partition", b.time_to_partition, 1);
   row("final edges", b.final_edges, 1);
   row("final avg degree", b.final_degree);
@@ -298,12 +301,17 @@ int print_dynamic_sweep(const api::scenario_spec& spec, const api::dynamic_batch
   return b.final_connectivity_failures == 0 ? 0 : 1;
 }
 
+/// Lists both registries (also serves `sweep --list`).
+int cmd_scenarios() {
+  std::cout << "static scenarios:\n";
+  for (const std::string& name : api::scenario_names()) std::cout << "  " << name << "\n";
+  std::cout << "dynamic scenarios (scenario + sim presets):\n";
+  for (const std::string& name : api::dynamic_scenario_names()) std::cout << "  " << name << "\n";
+  return 0;
+}
+
 int cmd_sweep(const cli_args& args) {
-  if (args.has_flag("list")) {
-    std::cout << "registered scenarios:\n";
-    for (const std::string& name : api::scenario_names()) std::cout << "  " << name << "\n";
-    return 0;
-  }
+  if (args.has_flag("list")) return cmd_scenarios();
 
   std::optional<api::sim_spec> sim;
   api::scenario_spec spec;
@@ -314,14 +322,18 @@ int cmd_sweep(const cli_args& args) {
     if (spec.name.empty()) spec.name = file;
   } else {
     const std::string name = args.get("scenario", "paper_table1");
-    auto found = api::find_scenario(name);
-    if (!found) {
+    if (auto found = api::find_scenario(name)) {
+      spec = *std::move(found);
+    } else if (auto dyn = api::find_dynamic_scenario(name)) {
+      spec = std::move(dyn->scenario);
+      sim = dyn->sim;
+    } else {
       std::ostringstream msg;
       msg << "unknown scenario '" << name << "'; try one of:";
       for (const std::string& n : api::scenario_names()) msg << " " << n;
+      for (const std::string& n : api::dynamic_scenario_names()) msg << " " << n;
       throw usage_error(msg.str());
     }
-    spec = *std::move(found);
   }
 
   // Command-line overrides on top of the named scenario.
@@ -339,6 +351,10 @@ int cmd_sweep(const cli_args& args) {
   }
   if (args.options.contains("range")) {
     spec.radio.max_range = args.num("range", spec.radio.max_range);
+  }
+  if (args.options.contains("intra-threads")) {
+    spec.cbtc.intra_threads =
+        static_cast<unsigned>(args.count("intra-threads", spec.cbtc.intra_threads));
   }
 
   if (const std::string save = args.get("save", ""); !save.empty()) {
@@ -398,6 +414,7 @@ int main(int argc, char** argv) {
     if (args.command == "analyze") return cmd_analyze(args);
     if (args.command == "compare") return cmd_compare(args);
     if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "scenarios") return cmd_scenarios();
   } catch (const usage_error& e) {
     std::cerr << "error: " << e.what() << "\n\n";
     return usage();
