@@ -94,6 +94,28 @@ void BM_EngineBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineBatch)->Arg(1)->Arg(2)->Arg(4);
 
+/// Executor nesting: a 48-seed batch of 400-node instances with
+/// range(0) batch threads x range(1) intra threads, all drawing from
+/// the one process-wide pool. The headline row is (4, 4) — before the
+/// shared executor that combination stood up 16 competing threads;
+/// now it composes (and the report is bitwise identical to (1, 1)).
+void BM_EngineBatchNestedThreads(benchmark::State& state) {
+  api::scenario_spec spec = scaling_spec(400);
+  spec.opts = algo::optimization_set::all();
+  spec.cbtc.intra_threads = static_cast<unsigned>(state.range(1));
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.run_batch(spec, {0, 48}, threads));
+  }
+}
+BENCHMARK(BM_EngineBatchNestedThreads)
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({1, 4})
+    ->Args({4, 4})
+    ->Args({8, 8})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_EngineBaselineMst(benchmark::State& state) {
   api::scenario_spec spec = scaling_spec(state.range(0));
   spec.method = api::method_spec::of_baseline(api::baseline_kind::euclidean_mst);
@@ -205,6 +227,42 @@ BENCHMARK(BM_DynamicTickIncrementalIndex)
     ->Arg(1000)->Arg(10000)->Arg(50000)
     ->Unit(benchmark::kMillisecond);
 
+// -- dynamic runs: mirrored agent tables vs full table capture --------
+
+/// A churn + mobility workload whose connectivity is re-evaluated at
+/// every topology-changing event — the path the agent-table mirror
+/// accelerates. range(0) nodes; `mirrored` picks the incremental
+/// closure_mirror or the legacy full per-evaluation table re-read
+/// (reports are bitwise identical either way; tests assert it).
+void run_dynamic_capture(benchmark::State& state, bool mirrored) {
+  api::scenario_spec spec = scaling_spec(state.range(0));
+  spec.method = api::method_spec::protocol();
+  spec.protocol.agent.round_timeout = 0.5;
+  spec.protocol.channel.base_delay = 0.01;
+  api::sim_spec dyn;
+  dyn.horizon = 40.0;
+  dyn.settle = 12.0;
+  dyn.sample_every = 4.0;
+  dyn.mobility = {.kind = api::mobility_kind::random_waypoint,
+                  .min_speed = 2.0,
+                  .max_speed = 8.0,
+                  .tick = 0.5,
+                  .start = 12.0};
+  dyn.failures.random_crashes = state.range(0) / 20;
+  dyn.failures.window_begin = 14.0;
+  dyn.failures.window_end = 30.0;
+  dyn.mirror_agent_tables = mirrored;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.run_dynamic(spec, dyn, 0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_DynamicCaptureMirror(benchmark::State& state) { run_dynamic_capture(state, true); }
+void BM_DynamicCaptureFull(benchmark::State& state) { run_dynamic_capture(state, false); }
+BENCHMARK(BM_DynamicCaptureMirror)->Arg(150)->Arg(600)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DynamicCaptureFull)->Arg(150)->Arg(600)->Unit(benchmark::kMillisecond);
+
 // -- substrate micro-benchmarks (not scenario orchestration) ----------
 
 void BM_MaxPowerGraphGrid(benchmark::State& state) {
@@ -249,21 +307,33 @@ BENCHMARK(BM_SpatialGridQuery);
 
 }  // namespace
 
-/// BENCHMARK_MAIN with one addition: default --benchmark_out to
-/// BENCH_scaling.json so every run leaves a machine-readable record.
+/// BENCHMARK_MAIN with two additions: an explicit `--out PATH` (or
+/// `--out=PATH`) flag for the JSON record — so callers like CI never
+/// depend on the process cwd — and a default of BENCH_scaling.json in
+/// the cwd when neither --out nor --benchmark_out is given, so every
+/// run leaves a machine-readable record.
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  std::string out_flag = "--benchmark_out=BENCH_scaling.json";
-  std::string fmt_flag = "--benchmark_out_format=json";
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  std::string out_path = "BENCH_scaling.json";
   bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
-    // Exact flag only: --benchmark_out_format alone must not suppress
-    // the default output file.
-    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0 ||
-        std::strcmp(argv[i], "--benchmark_out") == 0) {
-      has_out = true;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (i > 0 && std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      // Exact flag only: --benchmark_out_format alone must not
+      // suppress the default output file.
+      if (i > 0 && (std::strncmp(argv[i], "--benchmark_out=", 16) == 0 ||
+                    std::strcmp(argv[i], "--benchmark_out") == 0)) {
+        has_out = true;
+      }
+      args.push_back(argv[i]);
     }
   }
+  std::string out_flag = "--benchmark_out=" + out_path;
+  std::string fmt_flag = "--benchmark_out_format=json";
   if (!has_out) {
     args.push_back(out_flag.data());
     args.push_back(fmt_flag.data());

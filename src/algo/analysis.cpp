@@ -41,7 +41,8 @@ invariant_report check_invariants(const graph::undirected_graph& topology,
     }
   }
 
-  rep.connectivity_preserved = graph::same_connectivity(topology, gr);
+  graph::connectivity_scratch scratch;
+  rep.connectivity_preserved = graph::same_connectivity(topology, gr, pool, scratch);
   if (!rep.connectivity_preserved) {
     rep.violations.push_back("component partition differs: topology has " +
                              std::to_string(graph::connected_components(topology).count) +

@@ -49,6 +49,14 @@ graph::undirected_graph cbtc_result::symmetric_core() const {
   return neighbor_digraph().symmetric_core();
 }
 
+graph::undirected_graph cbtc_result::symmetric_closure(util::thread_pool& pool) const {
+  return neighbor_digraph().symmetric_closure(pool);
+}
+
+graph::undirected_graph cbtc_result::symmetric_core(util::thread_pool& pool) const {
+  return neighbor_digraph().symmetric_core(pool);
+}
+
 std::size_t cbtc_result::boundary_count() const {
   return static_cast<std::size_t>(
       std::count_if(nodes.begin(), nodes.end(), [](const node_result& n) { return n.boundary; }));

@@ -22,6 +22,10 @@
 #include "graph/types.h"
 #include "radio/power_model.h"
 
+namespace cbtc::util {
+class thread_pool;
+}
+
 namespace cbtc::algo {
 
 using graph::node_id;
@@ -64,6 +68,10 @@ struct cbtc_result {
 
   /// E^-_alpha: the symmetric core (Section 3.2).
   [[nodiscard]] graph::undirected_graph symmetric_core() const;
+
+  /// Parallel variants (identical output for any pool width).
+  [[nodiscard]] graph::undirected_graph symmetric_closure(util::thread_pool& pool) const;
+  [[nodiscard]] graph::undirected_graph symmetric_core(util::thread_pool& pool) const;
 
   /// Number of boundary nodes.
   [[nodiscard]] std::size_t boundary_count() const;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "geom/angle.h"
+#include "util/parallel.h"
 
 namespace cbtc::algo {
 
@@ -44,13 +45,30 @@ bool is_redundant_edge(const graph::undirected_graph& g, std::span<const geom::v
 pairwise_result apply_pairwise_removal(const graph::undirected_graph& g,
                                        std::span<const geom::vec2> positions,
                                        const pairwise_options& opts) {
+  util::thread_pool serial(1);
+  return apply_pairwise_removal(g, positions, opts, serial);
+}
+
+pairwise_result apply_pairwise_removal(const graph::undirected_graph& g,
+                                       std::span<const geom::vec2> positions,
+                                       const pairwise_options& opts, util::thread_pool& pool) {
   pairwise_result res;
   const std::vector<graph::edge> edges = g.edges();
-  std::vector<bool> redundant(edges.size(), false);
-  for (std::size_t i = 0; i < edges.size(); ++i) {
-    redundant[i] = is_redundant_edge(g, positions, edges[i].u, edges[i].v);
-    if (redundant[i]) ++res.redundant_edges;
-  }
+  // Per-edge classification: each slot written exactly once (chars,
+  // not vector<bool> — concurrent bit writes would race), the count
+  // reduced in fixed block order.
+  std::vector<unsigned char> redundant(edges.size(), 0);
+  res.redundant_edges = pool.reduce<std::size_t>(
+      edges.size(), 0,
+      [&](std::size_t lo, std::size_t hi) {
+        std::size_t count = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          redundant[i] = is_redundant_edge(g, positions, edges[i].u, edges[i].v) ? 1 : 0;
+          count += redundant[i];
+        }
+        return count;
+      },
+      [](std::size_t& total, const std::size_t& part) { total += part; });
 
   // Longest non-redundant edge incident to each node: removing only
   // redundant edges longer than this cannot increase any node's radius

@@ -19,6 +19,10 @@
 #include "graph/graph.h"
 #include "graph/types.h"
 
+namespace cbtc::util {
+class thread_pool;
+}
+
 namespace cbtc::algo {
 
 /// Lexicographic edge id from Section 3.3.
@@ -68,6 +72,16 @@ struct pairwise_result {
 [[nodiscard]] pairwise_result apply_pairwise_removal(const graph::undirected_graph& g,
                                                      std::span<const geom::vec2> positions,
                                                      const pairwise_options& opts = {});
+
+/// Same, with the per-edge redundancy classification (the hot part —
+/// one witness scan over both endpoints' neighborhoods per edge) run
+/// as a deterministic block reduce on `pool`. Identical output for any
+/// pool width: classifications land in per-edge slots and the
+/// redundancy count folds in fixed block order.
+[[nodiscard]] pairwise_result apply_pairwise_removal(const graph::undirected_graph& g,
+                                                     std::span<const geom::vec2> positions,
+                                                     const pairwise_options& opts,
+                                                     util::thread_pool& pool);
 
 /// True if edge {u, v} is redundant in `g` per Definition 3.5 (checked
 /// from both endpoints; the witness w may sit at either end).

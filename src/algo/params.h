@@ -33,11 +33,13 @@ struct cbtc_params {
   /// Increase(p) = increase_factor * p. Must be > 1.
   double increase_factor{2.0};
 
-  /// Threads used *inside* one instance (per-node cone growth, metric
-  /// loops). 1 = serial (the default; batch layers parallelize across
-  /// instances instead), 0 = hardware concurrency. Results are bitwise
-  /// identical for every value — growth is per-node independent and
-  /// reductions merge fixed-size blocks in block order.
+  /// Threads used *inside* one instance (per-node cone growth, the
+  /// optimization passes, metric loops). 1 = serial (the default),
+  /// 0 = hardware concurrency. Composes with batch-level threads
+  /// through the process-wide executor (util/executor.h) — nested, not
+  /// multiplied. Results are bitwise identical for every value —
+  /// growth is per-node independent and reductions merge fixed-size
+  /// blocks in block order.
   unsigned intra_threads{1};
 };
 

@@ -1,19 +1,25 @@
 #include "algo/pipeline.h"
 
+#include "util/parallel.h"
+
 namespace cbtc::algo {
 
 topology_result apply_optimizations(cbtc_result grown, std::span<const geom::vec2> positions,
                                     const optimization_set& opts) {
   topology_result out;
   const cbtc_params params = grown.params;
+  // The growth outcome carries the instance's intra-thread knob: the
+  // symmetric core/closure construction and the pairwise classification
+  // run on the same process-wide executor as the growth loop did.
+  util::thread_pool pool(params.intra_threads);
   out.growth = opts.shrink_back ? apply_shrink_back(grown) : std::move(grown);
 
   out.asymmetric_applied = opts.asymmetric_removal && asymmetric_removal_applicable(params.alpha);
-  out.topology =
-      out.asymmetric_applied ? out.growth.symmetric_core() : out.growth.symmetric_closure();
+  out.topology = out.asymmetric_applied ? out.growth.symmetric_core(pool)
+                                        : out.growth.symmetric_closure(pool);
 
   if (opts.pairwise_removal) {
-    pairwise_result pr = apply_pairwise_removal(out.topology, positions, opts.pairwise);
+    pairwise_result pr = apply_pairwise_removal(out.topology, positions, opts.pairwise, pool);
     out.topology = std::move(pr.topology);
     out.redundant_edges = pr.redundant_edges;
     out.removed_edges = pr.removed_edges;

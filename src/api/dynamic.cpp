@@ -42,11 +42,20 @@ struct live_state {
   std::size_t live{0};
 };
 
+/// `mirror` non-null: the topology comes from the incremental closure
+/// mirror (O(live adjacency) filtered copy). Null: reference path —
+/// re-read every live agent's neighbor table. Both produce the same
+/// edge set (asserted in tests).
 live_state capture_live_state(const graph::live_neighbor_index& index,
-                              const std::vector<std::unique_ptr<proto::reconfig_agent>>& agents) {
+                              const std::vector<std::unique_ptr<proto::reconfig_agent>>& agents,
+                              const graph::closure_mirror* mirror) {
   const std::size_t n = agents.size();
   live_state s{graph::undirected_graph(n), index.graph(), std::vector<bool>(n), index.live_count()};
   for (graph::node_id u = 0; u < n; ++u) s.up[u] = index.is_live(u);
+  if (mirror != nullptr) {
+    s.topology = mirror->live_graph();
+    return s;
+  }
   for (graph::node_id u = 0; u < n; ++u) {
     if (!s.up[u]) continue;
     for (const auto& [v, info] : agents[u]->cbtc().neighbors()) {
@@ -58,7 +67,7 @@ live_state capture_live_state(const graph::live_neighbor_index& index,
 
 dynamic_sample measure(const live_state& s, bool field_connected,
                        const std::vector<geom::vec2>& positions, double max_range, double t,
-                       util::thread_pool& pool) {
+                       util::thread_pool& pool, graph::connectivity_scratch& scratch) {
   dynamic_sample out;
   out.t = t;
   out.live_nodes = s.live;
@@ -81,7 +90,7 @@ dynamic_sample measure(const live_state& s, bool field_connected,
       },
       [](double& total, const double& part) { total += part; });
   out.avg_radius = s.live == 0 ? 0.0 : radius_sum / static_cast<double>(s.live);
-  out.connectivity_ok = graph::same_connectivity(s.topology, s.gr);
+  out.connectivity_ok = graph::same_connectivity(s.topology, s.gr, pool, scratch);
   out.field_connected = field_connected;
   return out;
 }
@@ -145,6 +154,25 @@ dynamic_report engine::run_dynamic(const scenario_spec& spec, const sim_spec& si
   graph::live_neighbor_index index(positions, pm.max_range());
   graph::connectivity_monitor field_monitor(index);
   util::thread_pool pool(spec.cbtc.intra_threads);
+  graph::connectivity_scratch scratch;
+
+  // The agents' closure topology, mirrored from per-agent table deltas
+  // so a connectivity evaluation never re-reads n neighbor tables.
+  std::unique_ptr<graph::closure_mirror> mirror;
+  if (sim_cfg.mirror_agent_tables) {
+    mirror = std::make_unique<graph::closure_mirror>(positions.size());
+    for (graph::node_id u = 0; u < agents.size(); ++u) {
+      agents[u]->set_table_hook([u, m = mirror.get()](graph::node_id v, bool added) {
+        // Evaluations are scheduled by the coarser change hook below;
+        // the delta stream only keeps the mirror current.
+        if (added) {
+          m->add_arc(u, v);
+        } else {
+          m->remove_arc(u, v);
+        }
+      });
+    }
+  }
 
   // -- event-driven connectivity tracking ---------------------------
   // Armed after the settle sample. Every event that changes the index
@@ -188,8 +216,8 @@ dynamic_report engine::run_dynamic(const scenario_spec& spec, const sim_spec& si
 
   const auto evaluate_now = [&] {
     eval_scheduled = false;
-    const live_state s = capture_live_state(index, agents);
-    track(simulator.now(), graph::same_connectivity(s.topology, s.gr),
+    const live_state s = capture_live_state(index, agents, mirror.get());
+    track(simulator.now(), graph::same_connectivity(s.topology, s.gr, pool, scratch),
           field_monitor.connected());
   };
   const auto note_change = [&] {
@@ -213,6 +241,7 @@ dynamic_report engine::run_dynamic(const scenario_spec& spec, const sim_spec& si
     } else {
       index.erase(u);
     }
+    if (mirror) mirror->set_live(u, up);
     note_change();  // the live set itself changed
   });
   for (auto& a : agents) a->set_change_hook(note_change);
@@ -267,9 +296,9 @@ dynamic_report engine::run_dynamic(const scenario_spec& spec, const sim_spec& si
   // horizon; the event-driven tracker covers everything in between.
   live_state state;  // last captured state (reused for the final report)
   const auto observe = [&](double t) {
-    state = capture_live_state(index, agents);
+    state = capture_live_state(index, agents, mirror.get());
     const dynamic_sample s = measure(state, field_monitor.connected(), medium.positions(),
-                                     pm.max_range(), t, pool);
+                                     pm.max_range(), t, pool, scratch);
     track(t, s.connectivity_ok, s.field_connected);
     r.samples.push_back(s);
   };

@@ -1,11 +1,7 @@
 #include "api/engine.h"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
 #include "algo/augment.h"
@@ -44,11 +40,13 @@ graph::undirected_graph build_baseline(const method_spec& m,
 /// is bitwise identical no matter how many threads ran the batch.
 constexpr std::uint64_t seed_block = 16;
 
-/// Streams a seed range into `Batch` aggregates: workers claim whole
-/// seed blocks, fold each run into the block's partial as soon as it
-/// finishes (the report is dropped immediately — peak memory is one
-/// in-flight report per thread plus the partials), and the partials
-/// merge in block order at the end.
+/// Streams a seed range into `Batch` aggregates: threads claim whole
+/// seed blocks from the process-wide executor, fold each run into the
+/// block's partial as soon as it finishes (the report is dropped
+/// immediately — peak memory is one in-flight report per thread plus
+/// the partials), and the partials merge in block order at the end.
+/// The same executor serves any intra-instance parallelism inside
+/// run_one, so batch and intra threads compose instead of multiplying.
 template <class Batch, class RunOne>
 Batch stream_batch(seed_range seeds, unsigned num_threads, const RunOne& run_one) {
   Batch total;
@@ -57,43 +55,21 @@ Batch stream_batch(seed_range seeds, unsigned num_threads, const RunOne& run_one
   const std::uint64_t blocks = (n + seed_block - 1) / seed_block;
   std::vector<Batch> partials(static_cast<std::size_t>(blocks));
 
-  const auto run_block = [&](std::uint64_t b) {
-    Batch& partial = partials[static_cast<std::size_t>(b)];
-    const std::uint64_t hi = std::min(n, (b + 1) * seed_block);
-    for (std::uint64_t i = b * seed_block; i < hi; ++i) {
-      partial.accumulate(run_one(seeds.first + i));
-    }
-  };
-
-  unsigned threads = num_threads != 0 ? num_threads : std::thread::hardware_concurrency();
-  threads = std::clamp<unsigned>(threads, 1,
-                                 static_cast<unsigned>(std::min<std::uint64_t>(blocks, 1024)));
-  if (threads == 1) {
-    for (std::uint64_t b = 0; b < blocks; ++b) run_block(b);
-  } else {
-    std::atomic<std::uint64_t> next{0};
-    std::mutex error_mutex;
-    std::exception_ptr error;
-    const auto worker = [&] {
-      for (;;) {
-        const std::uint64_t b = next.fetch_add(1, std::memory_order_relaxed);
-        if (b >= blocks) return;
-        try {
-          run_block(b);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!error) error = std::current_exception();
-          next.store(blocks, std::memory_order_relaxed);  // stop handing out work
-          return;
-        }
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-    if (error) std::rethrow_exception(error);
-  }
+  const unsigned threads =
+      std::clamp<unsigned>(util::resolve_threads(num_threads), 1,
+                           static_cast<unsigned>(std::min<std::uint64_t>(blocks, 1024)));
+  util::thread_pool pool(threads);
+  pool.parallel_for_chunks(static_cast<std::size_t>(blocks), 1,
+                           [&](std::size_t lo, std::size_t hi) {
+                             for (std::size_t b = lo; b < hi; ++b) {
+                               Batch& partial = partials[b];
+                               const std::uint64_t block = static_cast<std::uint64_t>(b);
+                               const std::uint64_t end = std::min(n, (block + 1) * seed_block);
+                               for (std::uint64_t i = block * seed_block; i < end; ++i) {
+                                 partial.accumulate(run_one(seeds.first + i));
+                               }
+                             }
+                           });
 
   for (const Batch& p : partials) total.merge(p);
   return total;
@@ -232,35 +208,15 @@ std::vector<run_report> engine::run_all(const scenario_spec& spec, seed_range se
   std::vector<run_report> reports(n);
   if (n == 0) return reports;
 
-  unsigned threads = num_threads != 0 ? num_threads : std::thread::hardware_concurrency();
-  threads = std::clamp<unsigned>(threads, 1, static_cast<unsigned>(n));
-  if (threads == 1) {
-    for (std::size_t i = 0; i < n; ++i) reports[i] = run(spec, seeds.first + i);
-    return reports;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr error;
-  const auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        reports[i] = run(spec, seeds.first + i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-        next.store(n, std::memory_order_relaxed);  // stop handing out work
-        return;
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-  if (error) std::rethrow_exception(error);
+  const unsigned threads =
+      std::clamp<unsigned>(util::resolve_threads(num_threads), 1, static_cast<unsigned>(n));
+  util::thread_pool pool(threads);
+  // One instance per chunk: per-slot writes make the result identical
+  // for any thread count; the executor lets nested intra-instance
+  // loops inside run() share the same workers.
+  pool.parallel_for_chunks(n, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) reports[i] = run(spec, seeds.first + i);
+  });
   return reports;
 }
 

@@ -615,6 +615,7 @@ jv sim_to_jv(const sim_spec& s) {
   o.add("horizon", jv::of(s.horizon));
   o.add("settle", jv::of(s.settle));
   o.add("sample_every", jv::of(s.sample_every));
+  o.add("mirror_agent_tables", jv::of(s.mirror_agent_tables));
   {
     jv b = jv::object();
     b.add("interval", jv::of(s.beacons.interval));
@@ -656,11 +657,13 @@ jv sim_to_jv(const sim_spec& s) {
 }
 
 sim_spec sim_from_jv(const jv& o) {
-  check_keys(o, "sim", {"horizon", "settle", "sample_every", "beacons", "mobility", "failures"});
+  check_keys(o, "sim", {"horizon", "settle", "sample_every", "mirror_agent_tables", "beacons",
+                        "mobility", "failures"});
   sim_spec s;
   s.horizon = get_num(o, "horizon", s.horizon);
   s.settle = get_num(o, "settle", s.settle);
   s.sample_every = get_num(o, "sample_every", s.sample_every);
+  s.mirror_agent_tables = get_bool(o, "mirror_agent_tables", s.mirror_agent_tables);
   if (const jv* b = get(o, "beacons")) {
     check_keys(*b, "beacons", {"interval", "miss_limit", "achange_threshold", "shrink_back"});
     s.beacons.interval = get_num(*b, "interval", s.beacons.interval);

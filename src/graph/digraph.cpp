@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/parallel.h"
+
 namespace cbtc::graph {
 
 bool digraph::add_arc(node_id u, node_id v) {
@@ -45,6 +47,36 @@ undirected_graph digraph::symmetric_core() const {
     }
   }
   return g;
+}
+
+undirected_graph digraph::symmetric_closure(util::thread_pool& pool) const {
+  const std::size_t n = out_.size();
+  // In-neighbor lists first: appending u in ascending order keeps each
+  // list sorted. This scatter pass is serial; the per-node merge below
+  // is the expensive part and parallelizes per slot.
+  std::vector<std::vector<node_id>> in(n);
+  for (node_id u = 0; u < n; ++u) {
+    for (node_id v : out_[u]) in[v].push_back(u);
+  }
+  std::vector<std::vector<node_id>> adj(n);
+  pool.parallel_for(n, [&](std::size_t u) {
+    adj[u].resize(out_[u].size() + in[u].size());
+    const auto end = std::set_union(out_[u].begin(), out_[u].end(), in[u].begin(), in[u].end(),
+                                    adj[u].begin());
+    adj[u].resize(static_cast<std::size_t>(end - adj[u].begin()));
+  });
+  return undirected_graph::from_adjacency(std::move(adj));
+}
+
+undirected_graph digraph::symmetric_core(util::thread_pool& pool) const {
+  const std::size_t n = out_.size();
+  std::vector<std::vector<node_id>> adj(n);
+  pool.parallel_for(n, [&](std::size_t u) {
+    for (node_id v : out_[u]) {
+      if (has_arc(v, static_cast<node_id>(u))) adj[u].push_back(v);
+    }
+  });
+  return undirected_graph::from_adjacency(std::move(adj));
 }
 
 }  // namespace cbtc::graph

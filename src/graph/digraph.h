@@ -13,6 +13,10 @@
 #include "graph/graph.h"
 #include "graph/types.h"
 
+namespace cbtc::util {
+class thread_pool;
+}
+
 namespace cbtc::graph {
 
 class digraph {
@@ -36,6 +40,12 @@ class digraph {
 
   /// Symmetric core: undirected edge {u,v} iff u->v and v->u.
   [[nodiscard]] undirected_graph symmetric_core() const;
+
+  /// Parallel variants: per-node adjacency lists are built in parallel
+  /// slots and adopted wholesale (no per-edge insertion). Identical
+  /// output for any pool width.
+  [[nodiscard]] undirected_graph symmetric_closure(util::thread_pool& pool) const;
+  [[nodiscard]] undirected_graph symmetric_core(util::thread_pool& pool) const;
 
   [[nodiscard]] friend bool operator==(const digraph&, const digraph&) = default;
 

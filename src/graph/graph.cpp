@@ -1,6 +1,7 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace cbtc::graph {
 
@@ -52,6 +53,25 @@ undirected_graph undirected_graph::induced(const std::vector<bool>& mask) const 
       if (u < v && v < mask.size() && mask[v]) g.add_edge(u, v);
     }
   }
+  return g;
+}
+
+undirected_graph undirected_graph::from_adjacency(std::vector<std::vector<node_id>> adj) {
+  undirected_graph g(adj.size());
+  std::size_t total_degree = 0;
+  for (node_id u = 0; u < adj.size(); ++u) {
+    assert(std::is_sorted(adj[u].begin(), adj[u].end()));
+    assert(std::adjacent_find(adj[u].begin(), adj[u].end()) == adj[u].end());
+    assert(!std::binary_search(adj[u].begin(), adj[u].end(), u));
+#ifndef NDEBUG
+    for (const node_id v : adj[u]) {
+      assert(std::binary_search(adj[v].begin(), adj[v].end(), u));  // symmetric
+    }
+#endif
+    total_degree += adj[u].size();
+  }
+  g.adj_ = std::move(adj);
+  g.num_edges_ = total_degree / 2;
   return g;
 }
 

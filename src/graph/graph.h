@@ -54,6 +54,14 @@ class undirected_graph {
   /// topologies after crash failures.
   [[nodiscard]] undirected_graph induced(const std::vector<bool>& mask) const;
 
+  /// Adopts pre-built adjacency lists wholesale — O(1), no per-edge
+  /// insertion. Contract (asserted in debug builds): every list sorted
+  /// ascending, no self-loops or duplicates, and the relation is
+  /// symmetric (v in adj[u] iff u in adj[v]). This is how parallel
+  /// constructions (digraph::symmetric_closure / symmetric_core with a
+  /// thread pool) assemble their per-node results.
+  [[nodiscard]] static undirected_graph from_adjacency(std::vector<std::vector<node_id>> adj);
+
  private:
   std::vector<std::vector<node_id>> adj_;  // each list sorted ascending
   std::size_t num_edges_{0};

@@ -106,6 +106,50 @@ undirected_graph live_neighbor_index::graph() const {
   return g;
 }
 
+closure_mirror::closure_mirror(std::size_t n) : adj_(n), live_(n, true) {}
+
+void closure_mirror::add_arc(node_id u, node_id v) {
+  if (u == v) return;
+  const auto bump = [](std::vector<entry>& list, node_id w) {
+    const auto it = std::lower_bound(list.begin(), list.end(), w,
+                                     [](const entry& e, node_id x) { return e.v < x; });
+    if (it != list.end() && it->v == w) {
+      ++it->arcs;
+    } else {
+      list.insert(it, {w, 1});
+    }
+  };
+  bump(adj_[u], v);
+  bump(adj_[v], u);
+}
+
+void closure_mirror::remove_arc(node_id u, node_id v) {
+  if (u == v) return;
+  const auto drop = [](std::vector<entry>& list, node_id w) {
+    const auto it = std::lower_bound(list.begin(), list.end(), w,
+                                     [](const entry& e, node_id x) { return e.v < x; });
+    if (it == list.end() || it->v != w) return;  // tolerated: erase of unknown arc
+    if (--it->arcs == 0) list.erase(it);
+  };
+  drop(adj_[u], v);
+  drop(adj_[v], u);
+}
+
+void closure_mirror::set_live(node_id u, bool up) { live_[u] = up; }
+
+undirected_graph closure_mirror::live_graph() const {
+  const std::size_t n = adj_.size();
+  std::vector<std::vector<node_id>> out(n);
+  for (node_id u = 0; u < n; ++u) {
+    if (!live_[u]) continue;
+    out[u].reserve(adj_[u].size());
+    for (const entry& e : adj_[u]) {
+      if (live_[e.v]) out[u].push_back(e.v);
+    }
+  }
+  return undirected_graph::from_adjacency(std::move(out));
+}
+
 connectivity_monitor::connectivity_monitor(live_neighbor_index& index)
     : index_(index), uf_(index.num_nodes()) {
   index_.set_observer([this](node_id u, node_id v, bool added) {

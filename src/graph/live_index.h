@@ -95,6 +95,51 @@ class live_neighbor_index {
   std::vector<geom::point_index> scratch_;
 };
 
+/// Incremental mirror of a symmetric-closure topology built from
+/// per-node *directed* neighbor-table deltas plus liveness flips.
+///
+/// The dynamic engine's agents each own a neighbor table (the directed
+/// relation N_alpha under reconfiguration); the observable topology is
+/// the symmetric closure over live nodes: edge {u, v} iff u and v are
+/// both up and at least one of them has the other in its table. The
+/// engine used to recompute that closure from scratch — iterating all
+/// n agent tables, O(n + m) map walks plus per-edge sorted inserts —
+/// at every connectivity evaluation. closure_mirror instead keeps a
+/// per-pair arc count (0..2) updated from the agents' table hooks, so
+/// each table delta costs O(degree) and a closure snapshot is a plain
+/// filtered copy of sorted adjacency (adopted wholesale, no per-edge
+/// insertion). Snapshots are edge-identical to the full re-read by
+/// construction (asserted in tests and kept exercisable through
+/// api::sim_spec::mirror_agent_tables).
+class closure_mirror {
+ public:
+  /// All nodes initially up, no arcs.
+  explicit closure_mirror(std::size_t n);
+
+  /// Node `u`'s table gained / lost `v` (directed). Counts are
+  /// per unordered pair; both orders may be added independently.
+  void add_arc(node_id u, node_id v);
+  void remove_arc(node_id u, node_id v);
+
+  /// Liveness flip; arcs are kept (a down node's table survives a
+  /// crash — exactly like the agents' own state).
+  void set_live(node_id u, bool up);
+
+  [[nodiscard]] std::size_t num_nodes() const { return live_.size(); }
+
+  /// The live symmetric closure: nodes that are down are isolated.
+  [[nodiscard]] undirected_graph live_graph() const;
+
+ private:
+  struct entry {
+    node_id v;
+    std::uint8_t arcs;  // directed arcs between the pair (1 or 2)
+  };
+
+  std::vector<std::vector<entry>> adj_;  // sorted by v
+  std::vector<bool> live_;
+};
+
 /// Event-driven union-find connectivity monitor over a
 /// live_neighbor_index (see header comment). Installs itself as the
 /// index's edge observer; the index must outlive the monitor.

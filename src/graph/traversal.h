@@ -7,10 +7,15 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.h"
 #include "graph/types.h"
+
+namespace cbtc::util {
+class thread_pool;
+}
 
 namespace cbtc::graph {
 
@@ -30,10 +35,37 @@ struct component_labels {
 /// True if u and v are in the same component.
 [[nodiscard]] bool reachable(const undirected_graph& g, node_id u, node_id v);
 
+/// Reusable buffers for same_connectivity: two disjoint-set forests.
+/// Event-driven callers (the dynamic engine evaluates connectivity at
+/// every topology-changing event) hold one across calls so the
+/// comparison performs no allocations after the first use.
+struct connectivity_scratch {
+  std::vector<node_id> root_a;
+  std::vector<node_id> root_b;
+  std::vector<std::uint32_t> size_a;
+  std::vector<std::uint32_t> size_b;
+};
+
 /// True if `a` and `b` have identical component *partitions* — the
 /// paper's preservation property: every pair connected in one is
 /// connected in the other. Requires equal node counts.
+///
+/// Implemented as a union-find comparison, not a BFS pair: build both
+/// forests (union by size + path halving, O(m alpha)), compare
+/// component counts, then check that every edge of `a` stays inside
+/// one `b`-component — a partition that refines another with the same
+/// block count equals it.
 [[nodiscard]] bool same_connectivity(const undirected_graph& a, const undirected_graph& b);
+
+/// Same, with caller-owned scratch (no per-call allocations).
+[[nodiscard]] bool same_connectivity(const undirected_graph& a, const undirected_graph& b,
+                                     connectivity_scratch& scratch);
+
+/// Same, with the edge-containment check parallelized over fixed
+/// node blocks on `pool` (the forests are flattened first, so the
+/// parallel phase only reads). Identical verdict for any pool width.
+[[nodiscard]] bool same_connectivity(const undirected_graph& a, const undirected_graph& b,
+                                     util::thread_pool& pool, connectivity_scratch& scratch);
 
 /// Shortest path in hops from `from` to `to`; empty if unreachable.
 /// The returned path includes both endpoints.

@@ -78,13 +78,17 @@ void cbtc_agent::handle(const sim::rx_info& rx, const message& msg) {
       it->second.direction = rx.direction;
       it->second.discovery_power = ack->hello_power;
       it->second.level = round_ - 1;
+      table_changed(ack->sender, true);
     } else {
       it->second.direction = rx.direction;  // keep the freshest bearing
     }
     return;
   }
   if (const auto* drop = std::get_if<drop_notice>(&msg)) {
-    if (neighbors_.erase(drop->sender) > 0) dropped_.push_back(drop->sender);
+    if (neighbors_.erase(drop->sender) > 0) {
+      dropped_.push_back(drop->sender);
+      table_changed(drop->sender, false);
+    }
     acked_.erase(drop->sender);
     return;
   }
@@ -107,12 +111,12 @@ std::vector<double> cbtc_agent::known_directions() const {
 }
 
 void cbtc_agent::forget(node_id v) {
-  neighbors_.erase(v);
+  if (neighbors_.erase(v) > 0) table_changed(v, false);
   acked_.erase(v);
 }
 
 void cbtc_agent::learn(node_id v, const discovered_neighbor& info) {
-  neighbors_[v] = info;
+  if (neighbors_.insert_or_assign(v, info).second) table_changed(v, true);
 }
 
 bool cbtc_agent::update_direction(node_id v, double direction) {
@@ -154,6 +158,7 @@ std::size_t cbtc_agent::prune_shrink_back() {
     for (const auto& [w, n] : neighbors_) rest.push_back(n.direction);
     if (geom::arc_set::cover(rest, cfg_.params.alpha).approx_equals(full)) {
       ++removed;
+      table_changed(v, false);  // only committed removals are deltas
     } else {
       neighbors_[v] = saved;  // removal would shrink coverage: keep
     }

@@ -104,7 +104,20 @@ class cbtc_agent {
   /// CBTC with p0 = p(rad^-_u) after a leave/aChange opened a gap).
   void regrow(double start_power, std::function<void()> on_done = {});
 
+  /// Fires on every *membership* change of the neighbor table:
+  /// (v, true) when v enters, (v, false) when v leaves. Direction or
+  /// power updates to an existing entry do not fire. This is the delta
+  /// stream that lets the dynamic engine mirror the closure topology
+  /// incrementally (graph::closure_mirror) instead of re-reading every
+  /// table per connectivity evaluation.
+  using table_observer = std::function<void(node_id, bool)>;
+  void set_table_observer(table_observer obs) { table_observer_ = std::move(obs); }
+
  private:
+  void table_changed(node_id v, bool added) {
+    if (table_observer_) table_observer_(v, added);
+  }
+
   enum class phase : std::uint8_t { idle, growing, done };
 
   void next_round();
@@ -124,6 +137,7 @@ class cbtc_agent {
   std::map<node_id, double> acked_;
   std::vector<node_id> dropped_;
   std::function<void()> on_done_;
+  table_observer table_observer_;
 };
 
 }  // namespace cbtc::proto

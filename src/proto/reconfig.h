@@ -63,6 +63,14 @@ class reconfig_agent {
   /// granularity instead of waiting for the next metric sample.
   void set_change_hook(std::function<void()> hook) { change_hook_ = std::move(hook); }
 
+  /// Per-delta stream: (v, added) for every membership change of this
+  /// agent's neighbor table, including discoveries during the initial
+  /// growing phase and regrows. Feeds graph::closure_mirror so the
+  /// engine never re-reads whole tables. See cbtc_agent::set_table_observer.
+  void set_table_hook(cbtc_agent::table_observer hook) {
+    cbtc_->set_table_observer(std::move(hook));
+  }
+
  private:
   void on_join(node_id v, const ndp_entry& e);
   void on_leave(node_id v);

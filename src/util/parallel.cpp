@@ -1,6 +1,9 @@
 #include "util/parallel.h"
 
 #include <algorithm>
+#include <thread>
+
+#include "util/executor.h"
 
 namespace cbtc::util {
 
@@ -10,62 +13,13 @@ unsigned resolve_threads(unsigned requested) {
   return hw == 0 ? 1 : hw;
 }
 
-thread_pool::thread_pool(unsigned num_threads) {
-  const unsigned total = resolve_threads(num_threads);
-  workers_.reserve(total - 1);
-  for (unsigned t = 1; t < total; ++t) {
-    workers_.emplace_back([this] {
-      std::uint64_t seen = 0;
-      std::unique_lock<std::mutex> lock(mutex_);
-      for (;;) {
-        start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
-        if (stop_) return;
-        seen = generation_;
-        job* j = current_;
-        if (j == nullptr) continue;  // job already finished and retired
-        ++j->active;
-        lock.unlock();
-        work_on(*j);
-        lock.lock();
-        --j->active;
-        done_cv_.notify_all();
-      }
-    });
-  }
-}
-
-thread_pool::~thread_pool() {
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
-  }
-  start_cv_.notify_all();
-  for (std::thread& t : workers_) t.join();
-}
-
-void thread_pool::work_on(job& j) {
-  for (;;) {
-    const std::size_t c = j.next.fetch_add(1, std::memory_order_relaxed);
-    if (c >= j.num_chunks) return;
-    const std::size_t lo = c * j.chunk;
-    const std::size_t hi = std::min(j.n, lo + j.chunk);
-    try {
-      (*j.body)(lo, hi);
-    } catch (...) {
-      const std::lock_guard<std::mutex> lock(error_mutex_);
-      if (!error_) error_ = std::current_exception();
-      j.next.store(j.num_chunks, std::memory_order_relaxed);  // abandon the rest
-    }
-  }
-}
-
 void thread_pool::parallel_for_chunks(std::size_t n, std::size_t chunk,
                                       const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
   chunk = std::max<std::size_t>(1, chunk);
   const std::size_t num_chunks = (n + chunk - 1) / chunk;
 
-  if (workers_.empty() || num_chunks == 1) {
+  if (width_ == 1 || num_chunks == 1) {
     for (std::size_t c = 0; c < num_chunks; ++c) {
       const std::size_t lo = c * chunk;
       body(lo, std::min(n, lo + chunk));
@@ -73,33 +27,8 @@ void thread_pool::parallel_for_chunks(std::size_t n, std::size_t chunk,
     return;
   }
 
-  job j;
-  j.num_chunks = num_chunks;
-  j.chunk = chunk;
-  j.n = n;
-  j.body = &body;
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    current_ = &j;
-    ++generation_;
-  }
-  start_cv_.notify_all();
-  work_on(j);  // the caller participates; returns once every chunk is claimed
-  {
-    // Workers may still be running chunks they claimed; `j` must stay
-    // alive (and current_ must stop pointing at it) until they are out.
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return j.active == 0; });
-    current_ = nullptr;
-  }
-  if (error_) {
-    std::exception_ptr e;
-    {
-      const std::lock_guard<std::mutex> lock(error_mutex_);
-      std::swap(e, error_);
-    }
-    std::rethrow_exception(e);
-  }
+  executor::task t(n, chunk, &body, width_);
+  executor::instance().run(t);
 }
 
 void thread_pool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {

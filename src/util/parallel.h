@@ -1,11 +1,12 @@
-// Intra-instance parallelism: a small thread pool with parallel_for
-// and deterministic block-ordered reduction.
+// Intra-instance parallelism: parallel_for and deterministic
+// block-ordered reduction over the process-wide executor.
 //
 // The batch layer (api/engine.cpp) fans whole instances across
 // threads; this utility parallelizes *inside* one instance — the
-// per-node cone-growth loop of the oracle, the per-node metric loops —
-// without giving up reproducibility. The determinism recipe is the
-// same seed-block pattern the batch reducer uses:
+// per-node cone-growth loop of the oracle, the per-edge optimization
+// passes, the per-node metric loops — without giving up
+// reproducibility. The determinism recipe is the same seed-block
+// pattern the batch reducer uses:
 //
 //   * parallel_for writes each index's result into its own slot, so
 //     the outcome is independent of scheduling by construction;
@@ -14,19 +15,18 @@
 //     partials in block order, so floating-point sums are bitwise
 //     identical whether 1 or 64 threads ran the loop.
 //
-// A pool with num_threads == 1 spawns no workers and runs everything
-// inline on the calling thread, so `intra_threads = 1` (the default)
-// is exactly the old serial code path.
+// A thread_pool owns no threads: it is a thin view over the
+// process-wide util::executor (executor.h) carrying only a width — the
+// maximum number of threads that may work one of its loops at once.
+// Construction is free, pools nest (a loop body may drive its own
+// pool; the executor composes the two by task submission instead of
+// spawning width x width threads), and a pool with num_threads == 1
+// runs everything inline on the calling thread, so `intra_threads = 1`
+// (the default) is exactly the old serial code path.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
-#include <cstdint>
-#include <exception>
 #include <functional>
-#include <mutex>
-#include <thread>
 #include <utility>
 #include <vector>
 
@@ -40,21 +40,22 @@ namespace cbtc::util {
 /// the thread count on purpose — see the header comment.
 inline constexpr std::size_t reduce_block = 1024;
 
-/// A blocking fork-join pool: workers are spawned once and reused for
-/// every parallel_for / reduce call on this pool. Not thread-safe —
-/// one caller drives one pool (calls from inside a body deadlock).
+/// A per-run handle on the process-wide executor: parallel_for /
+/// reduce calls fan across at most `size()` threads (the caller plus
+/// executor workers). Loops block until complete; nested use from
+/// inside a loop body is supported (and is how batch-level and
+/// intra-instance parallelism compose).
 class thread_pool {
  public:
-  /// Spawns `resolve_threads(num_threads) - 1` workers (the calling
-  /// thread participates in every loop).
-  explicit thread_pool(unsigned num_threads);
-  ~thread_pool();
+  /// A view of width resolve_threads(num_threads); spawns nothing.
+  explicit thread_pool(unsigned num_threads) : width_(resolve_threads(num_threads)) {}
 
   thread_pool(const thread_pool&) = delete;
   thread_pool& operator=(const thread_pool&) = delete;
 
-  /// Total threads that execute a loop (workers + the caller).
-  [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+  /// Maximum threads that execute one of this pool's loops (the
+  /// calling thread participates in every loop).
+  [[nodiscard]] unsigned size() const { return width_; }
 
   /// Runs body(i) for every i in [0, n), in parallel, and blocks until
   /// all are done. The first exception thrown by any body is rethrown
@@ -69,7 +70,7 @@ class thread_pool {
   /// Deterministic block-ordered reduction: partials[b] =
   /// per_block(lo_b, hi_b) over fixed `reduce_block`-sized blocks, then
   /// merge(total, partials[b]) in ascending block order. The result
-  /// does not depend on the pool size.
+  /// does not depend on the pool width.
   template <class T, class PerBlock, class Merge>
   [[nodiscard]] T reduce(std::size_t n, T init, const PerBlock& per_block, const Merge& merge) {
     if (n == 0) return init;
@@ -84,27 +85,7 @@ class thread_pool {
   }
 
  private:
-  struct job {
-    std::size_t num_chunks{0};
-    std::size_t chunk{0};
-    std::size_t n{0};
-    const std::function<void(std::size_t, std::size_t)>* body{nullptr};
-    std::atomic<std::size_t> next{0};
-    int active{0};  // workers currently inside this job (guarded by mutex_)
-  };
-
-  void work_on(job& j);
-
-  std::vector<std::thread> workers_;
-  // Worker rendezvous: generation bumps when a new job is posted.
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  std::uint64_t generation_{0};
-  job* current_{nullptr};
-  bool stop_{false};
-  std::exception_ptr error_;
-  std::mutex error_mutex_;
+  unsigned width_;
 };
 
 }  // namespace cbtc::util

@@ -134,6 +134,55 @@ TEST(ApiParallel, LifetimeIsThreadCountInvariant) {
   EXPECT_EQ(serial.field_partition, parallel.field_partition);
 }
 
+// ---- executor nesting: batch x intra threads ------------------------
+
+void expect_identical_summary(const exp::summary& a, const exp::summary& b, const char* what) {
+  EXPECT_EQ(a.count(), b.count()) << what;
+  EXPECT_EQ(a.mean(), b.mean()) << what;  // bitwise: no tolerance
+  EXPECT_EQ(a.stddev(), b.stddev()) << what;
+  EXPECT_EQ(a.min(), b.min()) << what;
+  EXPECT_EQ(a.max(), b.max()) << what;
+}
+
+/// Every (batch threads, intra threads) combination — including
+/// oversubscribed ones far beyond the machine — must produce the
+/// bitwise-identical batch report, because both levels draw tasks
+/// from the one process-wide executor and all reductions are
+/// block-ordered. 40 seeds = 3 seed blocks, so batch threading is
+/// genuinely exercised.
+TEST(ApiParallel, BatchTimesIntraThreadMatrixIsBitwiseIdentical) {
+  scenario_spec spec;
+  spec.deploy = {.kind = deployment_kind::uniform, .nodes = 250, .region_side = 2372.0};
+  spec.base_seed = 777;
+  spec.cbtc.mode = algo::growth_mode::continuous;
+  spec.opts = algo::optimization_set::all();
+  spec.metrics = {.stretch = false, .interference = false, .robustness = false};
+
+  const engine eng;
+  const seed_range seeds{0, 40};
+  spec.cbtc.intra_threads = 1;
+  const batch_report reference = eng.run_batch(spec, seeds, 1);
+  ASSERT_EQ(reference.runs, 40u);
+  EXPECT_EQ(reference.connectivity_failures, 0u);
+
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    for (const unsigned intra : {1u, 2u, 8u}) {
+      spec.cbtc.intra_threads = intra;
+      const batch_report b = eng.run_batch(spec, seeds, threads);
+      SCOPED_TRACE(::testing::Message() << "threads=" << threads << " intra=" << intra);
+      EXPECT_EQ(reference.runs, b.runs);
+      EXPECT_EQ(reference.connectivity_failures, b.connectivity_failures);
+      expect_identical_summary(reference.edges, b.edges, "edges");
+      expect_identical_summary(reference.degree, b.degree, "degree");
+      expect_identical_summary(reference.radius, b.radius, "radius");
+      expect_identical_summary(reference.max_radius, b.max_radius, "max_radius");
+      expect_identical_summary(reference.tx_power, b.tx_power, "tx_power");
+      expect_identical_summary(reference.boundary, b.boundary, "boundary");
+      expect_identical_summary(reference.removed_edges, b.removed_edges, "removed_edges");
+    }
+  }
+}
+
 // ---- util::thread_pool unit coverage --------------------------------
 
 TEST(ThreadPool, CoversEveryIndexExactlyOnce) {

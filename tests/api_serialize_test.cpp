@@ -55,6 +55,7 @@ scenario_file busy_file() {
                   .tick = 0.25,
                   .start = 10.0,
                   .until = 80.0};
+  dyn.mirror_agent_tables = false;  // non-default: must survive the trip
   dyn.failures.random_crashes = 6;
   dyn.failures.window_begin = 15.0;
   dyn.failures.window_end = 45.0;
@@ -112,6 +113,7 @@ TEST(ApiSerialize, RoundTripPreservesEveryField) {
   EXPECT_DOUBLE_EQ(x.horizon, y.horizon);
   EXPECT_DOUBLE_EQ(x.settle, y.settle);
   EXPECT_DOUBLE_EQ(x.sample_every, y.sample_every);
+  EXPECT_EQ(x.mirror_agent_tables, y.mirror_agent_tables);
   EXPECT_DOUBLE_EQ(x.beacons.interval, y.beacons.interval);
   EXPECT_EQ(x.beacons.miss_limit, y.beacons.miss_limit);
   EXPECT_DOUBLE_EQ(x.beacons.achange_threshold, y.beacons.achange_threshold);

@@ -4,9 +4,11 @@
 
 #include <limits>
 #include <random>
+#include <vector>
 
 #include "graph/euclidean.h"
 #include "graph/graph.h"
+#include "util/parallel.h"
 
 namespace cbtc::graph {
 namespace {
@@ -97,6 +99,79 @@ TEST(SameConnectivity, SplitDetected) {
 
 TEST(SameConnectivity, NodeCountMismatch) {
   EXPECT_FALSE(same_connectivity(undirected_graph(2), undirected_graph(3)));
+}
+
+/// The pre-union-find implementation, kept verbatim as the reference:
+/// BFS labels on both graphs, then a consistent label bijection.
+bool same_connectivity_bfs(const undirected_graph& a, const undirected_graph& b) {
+  if (a.num_nodes() != b.num_nodes()) return false;
+  const component_labels ca = connected_components(a);
+  const component_labels cb = connected_components(b);
+  if (ca.count != cb.count) return false;
+  std::vector<node_id> a_to_b(ca.count, invalid_node);
+  std::vector<node_id> b_to_a(cb.count, invalid_node);
+  for (node_id u = 0; u < a.num_nodes(); ++u) {
+    const node_id la = ca.label[u];
+    const node_id lb = cb.label[u];
+    if (a_to_b[la] == invalid_node) a_to_b[la] = lb;
+    if (b_to_a[lb] == invalid_node) b_to_a[lb] = la;
+    if (a_to_b[la] != lb || b_to_a[lb] != la) return false;
+  }
+  return true;
+}
+
+undirected_graph random_graph(std::size_t n, double p, std::mt19937_64& rng) {
+  undirected_graph g(n);
+  std::bernoulli_distribution edge(p);
+  for (node_id u = 0; u < n; ++u) {
+    for (node_id v = u + 1; v < n; ++v) {
+      if (edge(rng)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+TEST(SameConnectivity, UnionFindAgreesWithBfsOnRandomGraphs) {
+  std::mt19937_64 rng(20260729);
+  util::thread_pool pool(4);
+  connectivity_scratch scratch;
+  std::uniform_int_distribution<std::size_t> size(1, 60);
+  std::uniform_real_distribution<double> density(0.0, 0.12);
+  std::size_t agreements_true = 0;
+  std::size_t agreements_false = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t n = size(rng);
+    const undirected_graph a = random_graph(n, density(rng), rng);
+    // Mix of cases: an independent random graph, a copy with one edge
+    // toggled, and an exact copy — all compared against the reference.
+    undirected_graph b = trial % 3 == 0 ? random_graph(n, density(rng), rng) : a;
+    if (trial % 3 == 1 && n >= 2) {
+      std::uniform_int_distribution<node_id> node(0, static_cast<node_id>(n - 1));
+      const node_id u = node(rng);
+      const node_id v = node(rng);
+      if (u != v && !b.remove_edge(u, v)) b.add_edge(u, v);
+    }
+    const bool expected = same_connectivity_bfs(a, b);
+    EXPECT_EQ(expected, same_connectivity(a, b)) << "trial " << trial;
+    EXPECT_EQ(expected, same_connectivity(a, b, scratch)) << "trial " << trial;
+    EXPECT_EQ(expected, same_connectivity(a, b, pool, scratch)) << "trial " << trial;
+    ++(expected ? agreements_true : agreements_false);
+  }
+  // The trial mix must exercise both verdicts for the comparison to
+  // mean anything.
+  EXPECT_GT(agreements_true, 0u);
+  EXPECT_GT(agreements_false, 0u);
+}
+
+TEST(SameConnectivity, ScratchIsReusableAcrossDifferentSizes) {
+  connectivity_scratch scratch;
+  const undirected_graph big = path_graph(50);
+  EXPECT_TRUE(same_connectivity(big, big, scratch));
+  const undirected_graph small = path_graph(3);
+  EXPECT_TRUE(same_connectivity(small, small, scratch));
+  undirected_graph split = path_graph(3);
+  split.remove_edge(1, 2);
+  EXPECT_FALSE(same_connectivity(small, split, scratch));
 }
 
 TEST(BfsDistances, PathGraph) {

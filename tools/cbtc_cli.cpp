@@ -116,6 +116,8 @@ int usage() {
       "  compare   --in FILE.csv [--range R] [--exponent N]\n"
       "  sweep     --scenario NAME | --file SCENARIO.json\n"
       "            [--seeds N] [--first N] [--threads T] [--intra-threads T]\n"
+      "            (both thread knobs share one process-wide pool: T x T\n"
+      "             nests via work-stealing, it never multiplies threads)\n"
       "            [--method oracle|protocol|mst|rng|gabriel|yao|knn|max-power]\n"
       "            [--alpha RAD] [--nodes N] [--region S] [--range R]\n"
       "            [--save FILE.json]  (write the resolved scenario, don't run)\n"

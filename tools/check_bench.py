@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a google-benchmark JSON run against a
+committed baseline.
+
+Two kinds of checks, because CI runners and dev boxes differ in raw
+speed:
+
+  * absolute: each baseline benchmark's real time may grow by at most
+    a multiplicative tolerance (default from the baseline file,
+    overridable per benchmark and from the command line). Generous on
+    purpose — it catches order-of-magnitude regressions (an accidental
+    O(n^2), a lost parallel path), not scheduler noise.
+  * ratios: named time ratios computed *within the new run* (e.g.
+    "oracle 400 nodes / oracle 100 nodes"), which are machine-
+    independent and can therefore be tight. This is where scaling
+    regressions fail loudly even on a runner 3x slower than the
+    machine that produced the baseline.
+
+Usage:
+  check_bench.py --bench BENCH_scaling.json --baseline bench/baseline_scaling.json
+  check_bench.py ... --tolerance 4.0     # override every absolute tolerance
+  check_bench.py ... --update            # rewrite baseline times from the run
+
+Exit status: 0 = all checks pass, 1 = regression or missing benchmark,
+2 = bad invocation / malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_run(path):
+    """name -> real time in ns, iteration entries only (no aggregates)."""
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue  # BigO / RMS / mean aggregates
+        unit = b.get("time_unit", "ns")
+        if unit not in UNIT_TO_NS:
+            raise ValueError(f"unknown time_unit {unit!r} for {b.get('name')}")
+        times[b["name"]] = float(b["real_time"]) * UNIT_TO_NS[unit]
+    return times
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f}us"
+    return f"{ns:.0f}ns"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--bench", required=True, help="google-benchmark JSON output of the new run")
+    ap.add_argument("--baseline", required=True, help="committed baseline JSON")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help="override the absolute-time tolerance for every benchmark")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline's benchmark times from the run and exit")
+    args = ap.parse_args()
+
+    try:
+        run = load_run(args.bench)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+        print(f"error: cannot read benchmark run {args.bench}: {e}", file=sys.stderr)
+        return 2
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read baseline {args.baseline}: {e}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        # Refresh times but keep any extra per-benchmark keys (e.g. a
+        # "tolerance" override) for benchmarks that stay in the set.
+        old = baseline.get("benchmarks", {})
+        baseline["benchmarks"] = {
+            name: {**old.get(name, {}), "real_time_ns": round(t, 1)}
+            for name, t in sorted(run.items())
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print(f"baseline updated: {len(run)} benchmarks -> {args.baseline}")
+        return 0
+
+    default_tol = args.tolerance or float(baseline.get("default_tolerance", 4.0))
+    failures = []
+    print(f"{'benchmark':55} {'baseline':>10} {'now':>10} {'ratio':>7} {'limit':>7}")
+
+    for name, entry in baseline.get("benchmarks", {}).items():
+        base_ns = float(entry["real_time_ns"])
+        tol = args.tolerance or float(entry.get("tolerance", default_tol))
+        if name not in run:
+            failures.append(f"{name}: missing from the run (filter changed or bench dropped?)")
+            print(f"{name:55} {fmt_ns(base_ns):>10} {'MISSING':>10}")
+            continue
+        ratio = run[name] / base_ns if base_ns > 0 else float("inf")
+        verdict = "" if ratio <= tol else "  <-- FAIL"
+        print(f"{name:55} {fmt_ns(base_ns):>10} {fmt_ns(run[name]):>10} "
+              f"{ratio:>6.2f}x {tol:>6.2f}x{verdict}")
+        if ratio > tol:
+            failures.append(f"{name}: {fmt_ns(run[name])} vs baseline {fmt_ns(base_ns)} "
+                            f"({ratio:.2f}x > {tol:.2f}x)")
+
+    ratios = baseline.get("ratios", [])
+    if ratios:
+        print(f"\n{'ratio check (within this run)':55} {'value':>10} {'limit':>10}")
+    for r in ratios:
+        num, den = r["num"], r["den"]
+        if num not in run or den not in run:
+            failures.append(f"ratio {r['name']!r}: {num if num not in run else den} "
+                            f"missing from the run")
+            print(f"{r['name']:55} {'MISSING':>10}")
+            continue
+        value = run[num] / run[den] if run[den] > 0 else float("inf")
+        verdict = "" if value <= float(r["max"]) else "  <-- FAIL"
+        print(f"{r['name']:55} {value:>9.2f}x {float(r['max']):>9.2f}x{verdict}")
+        if value > float(r["max"]):
+            failures.append(f"ratio {r['name']!r}: {value:.2f}x > {float(r['max']):.2f}x "
+                            f"({num} / {den})")
+
+    extra = sorted(set(run) - set(baseline.get("benchmarks", {})))
+    if extra:
+        print(f"\nnote: {len(extra)} benchmark(s) in the run but not in the baseline: "
+              + ", ".join(extra))
+
+    if failures:
+        print("\nPERF REGRESSION GATE FAILED:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  - {f_}", file=sys.stderr)
+        return 1
+    print("\nperf gate: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
