@@ -23,6 +23,7 @@
 #include "geom/spatial_grid.h"
 #include "graph/euclidean.h"
 #include "graph/live_index.h"
+#include "radio/propagation.h"
 
 namespace {
 
@@ -115,6 +116,41 @@ BENCHMARK(BM_EngineBatchNestedThreads)
     ->Args({4, 4})
     ->Args({8, 8})
     ->Unit(benchmark::kMillisecond);
+
+// -- per-link propagation: isotropic vs shadowed ----------------------
+
+/// The isotropic rows above gate "the propagation layer costs nothing
+/// when unused" (they run the exact pre-propagation code path); these
+/// rows measure what a non-uniform gain field adds: per-candidate gain
+/// hashing in growth, per-link filtering in G_R and the dynamic index.
+api::scenario_spec shadowed_scaling_spec(std::int64_t nodes) {
+  api::scenario_spec spec = scaling_spec(nodes);
+  spec.radio.propagation = {.kind = radio::propagation_kind::lognormal_shadowing,
+                            .sigma_db = 4.0,
+                            .clamp_db = 8.0};
+  return spec;
+}
+
+const radio::link_model shadowed_link(pm, radio::propagation_model::lognormal_shadowing(4.0, 8.0,
+                                                                                        42));
+
+void BM_EngineOracleShadowed(benchmark::State& state) {
+  const api::scenario_spec spec = shadowed_scaling_spec(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.run(spec));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EngineOracleShadowed)->RangeMultiplier(2)->Range(100, 1600)->Complexity();
+
+void BM_MaxPowerGraphGridShadowed(benchmark::State& state) {
+  const auto positions = make_positions(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::build_max_power_graph(positions, shadowed_link));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MaxPowerGraphGridShadowed)->RangeMultiplier(2)->Range(100, 1600)->Complexity();
 
 void BM_EngineBaselineMst(benchmark::State& state) {
   api::scenario_spec spec = scaling_spec(state.range(0));
@@ -225,6 +261,24 @@ void BM_DynamicTickIncrementalIndex(benchmark::State& state) {
 }
 BENCHMARK(BM_DynamicTickIncrementalIndex)
     ->Arg(1000)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+/// The same mobility ticks against a gain-aware index: every candidate
+/// that enters a node's pruning radius pays one link filter.
+void BM_DynamicTickIncrementalIndexShadowed(benchmark::State& state) {
+  dynamic_tick::motion m(state.range(0));
+  graph::live_neighbor_index index(m.positions, shadowed_link);
+  for (auto _ : state) {
+    m.step();
+    for (std::size_t i = 0; i < m.positions.size(); ++i) {
+      index.move(static_cast<graph::node_id>(i), m.positions[i]);
+    }
+    benchmark::DoNotOptimize(index.num_edges());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DynamicTickIncrementalIndexShadowed)
+    ->Arg(1000)->Arg(10000)
     ->Unit(benchmark::kMillisecond);
 
 // -- dynamic runs: mirrored agent tables vs full table capture --------

@@ -7,6 +7,7 @@
 
 #include "geom/vec2.h"
 #include "graph/graph.h"
+#include "radio/propagation.h"
 
 namespace cbtc::util {
 class thread_pool;
@@ -47,6 +48,17 @@ struct invariant_report {
 [[nodiscard]] invariant_report check_invariants(const graph::undirected_graph& topology,
                                                 std::span<const geom::vec2> positions,
                                                 double max_range,
+                                                const graph::undirected_graph& max_power_graph,
+                                                util::thread_pool& pool);
+
+/// Gain-aware checks: `max_power_graph` must be the link-aware G_R,
+/// and the radius desideratum generalizes to "no node needs more than
+/// the maximum power P on any incident link". Delegates to the
+/// distance-based overload (identical report, including violation
+/// strings) when the propagation is isotropic.
+[[nodiscard]] invariant_report check_invariants(const graph::undirected_graph& topology,
+                                                std::span<const geom::vec2> positions,
+                                                const radio::link_model& link,
                                                 const graph::undirected_graph& max_power_graph,
                                                 util::thread_pool& pool);
 

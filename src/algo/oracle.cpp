@@ -147,6 +147,107 @@ node_result run_continuous(const std::vector<candidate>& cands, const radio::pow
   return res;
 }
 
+/// Candidates under a per-link gain model: every node whose link to
+/// `u` closes at maximum power, sorted by (required link power, id) —
+/// the order the Increase(p) schedule discovers them in.
+struct link_candidate {
+  node_id id;
+  double distance;
+  double direction;
+  double req_power;  // p(d) / gain: what closes the link
+};
+
+std::vector<link_candidate> link_candidates_of(node_id u, std::span<const geom::vec2> positions,
+                                               const geom::spatial_grid& grid,
+                                               const radio::link_model& link) {
+  std::vector<link_candidate> cands;
+  const geom::vec2 pu = positions[u];
+  const double max_power = link.max_power();
+  for (geom::point_index v : grid.query_radius(pu, link.max_candidate_range(), u)) {
+    const geom::vec2 d = positions[v] - pu;
+    const double dist = d.norm();
+    const double req = link.required_power_at(dist, u, v, pu, positions[v]);
+    if (req > max_power * (1.0 + 1e-12)) continue;  // never decodable
+    cands.push_back({v, dist, d.bearing(), req});
+  }
+  std::sort(cands.begin(), cands.end(), [](const link_candidate& a, const link_candidate& b) {
+    return a.req_power < b.req_power || (a.req_power == b.req_power && a.id < b.id);
+  });
+  return cands;
+}
+
+/// Keeps the documented node_result invariant (neighbors sorted by
+/// (distance, id)) after a growth pass that discovered them in
+/// required-power order.
+void sort_neighbors_by_distance(node_result& res) {
+  std::sort(res.neighbors.begin(), res.neighbors.end(),
+            [](const neighbor_record& a, const neighbor_record& b) {
+              return a.distance < b.distance || (a.distance == b.distance && a.id < b.id);
+            });
+}
+
+/// Figure 1 under per-link gains: a broadcast at power p is decoded by
+/// exactly the candidates with req_power <= p (one-ulp tolerance, the
+/// medium's decodability test).
+node_result run_discrete_link(const std::vector<link_candidate>& cands,
+                              const radio::link_model& link, const cbtc_params& params,
+                              double p0) {
+  node_result res;
+  const double max_power = link.max_power();
+  double p = p0;
+  std::size_t next = 0;  // first candidate not yet discovered
+  std::vector<double> dirs;
+
+  while (p < max_power && geom::has_alpha_gap(dirs, params.alpha)) {
+    p = std::min(p * params.increase_factor, max_power);
+    res.level_powers.push_back(p);
+    const auto level = static_cast<std::uint32_t>(res.level_powers.size() - 1);
+    while (next < cands.size() && cands[next].req_power <= p * (1.0 + 1e-12)) {
+      const link_candidate& c = cands[next];
+      res.neighbors.push_back({c.id, c.distance, c.direction, level, p});
+      if (c.distance > 0.0) dirs.push_back(c.direction);  // coincident: no bearing
+      ++next;
+    }
+  }
+  res.final_power = res.level_powers.empty() ? p0 : res.level_powers.back();
+  res.boundary = geom::has_alpha_gap(dirs, params.alpha);
+  sort_neighbors_by_distance(res);
+  return res;
+}
+
+/// Continuous growth under per-link gains: admit candidates one at a
+/// time in required-power order; stop at the first prefix with no
+/// alpha-gap.
+node_result run_continuous_link(const std::vector<link_candidate>& cands,
+                                const radio::link_model& link, const cbtc_params& params) {
+  node_result res;
+  std::vector<double> dirs;
+  bool covered = false;
+  for (const link_candidate& c : cands) {
+    if (!geom::has_alpha_gap(dirs, params.alpha)) {
+      covered = true;
+      break;
+    }
+    const double p = std::min(c.req_power, link.max_power());
+    res.level_powers.push_back(p);
+    const auto level = static_cast<std::uint32_t>(res.level_powers.size() - 1);
+    res.neighbors.push_back({c.id, c.distance, c.direction, level, p});
+    if (c.distance > 0.0) dirs.push_back(c.direction);  // coincident: no bearing
+  }
+  if (!covered) covered = !geom::has_alpha_gap(dirs, params.alpha);
+
+  if (covered) {
+    res.final_power = res.level_powers.empty() ? 0.0 : res.level_powers.back();
+    res.boundary = false;
+  } else {
+    res.level_powers.push_back(link.max_power());
+    res.final_power = link.max_power();
+    res.boundary = true;
+  }
+  sort_neighbors_by_distance(res);
+  return res;
+}
+
 }  // namespace
 
 cbtc_result run_cbtc(std::span<const geom::vec2> positions, const radio::power_model& power,
@@ -175,6 +276,43 @@ cbtc_result run_cbtc(std::span<const geom::vec2> positions, const radio::power_m
     result.nodes[u] = params.mode == growth_mode::discrete
                           ? run_discrete(cands, power, params, p0)
                           : run_continuous(cands, power, params);
+  });
+  return result;
+}
+
+cbtc_result run_cbtc(std::span<const geom::vec2> positions, const radio::link_model& link,
+                     const cbtc_params& params) {
+  // The isotropic fast path *is* the original algorithm — delegating
+  // keeps its results (and its sorted-prefix discovery loop) bit for
+  // bit.
+  if (link.is_isotropic()) return run_cbtc(positions, link.power(), params);
+
+  if (params.alpha <= 0.0 || params.alpha >= geom::two_pi)
+    throw std::invalid_argument("run_cbtc: alpha must be in (0, 2*pi)");
+  if (params.increase_factor <= 1.0)
+    throw std::invalid_argument("run_cbtc: increase_factor must be > 1");
+
+  const double p0 = params.initial_power > 0.0
+                        ? params.initial_power
+                        : link.power().required_power(link.max_range() / 16.0);
+
+  cbtc_result result;
+  result.params = params;
+  if (positions.empty()) return result;
+
+  // The grid prunes by the longest feasible link; the per-link filter
+  // inside link_candidates_of decides. Per-node growth stays pure, so
+  // the parallel loop is deterministic exactly as in the isotropic
+  // path.
+  const geom::spatial_grid grid(positions, link.max_candidate_range());
+  result.nodes.resize(positions.size());
+  util::thread_pool pool(params.intra_threads);
+  pool.parallel_for(positions.size(), [&](std::size_t u) {
+    const std::vector<link_candidate> cands =
+        link_candidates_of(static_cast<node_id>(u), positions, grid, link);
+    result.nodes[u] = params.mode == growth_mode::discrete
+                          ? run_discrete_link(cands, link, params, p0)
+                          : run_continuous_link(cands, link, params);
   });
   return result;
 }

@@ -21,6 +21,7 @@
 #include "graph/graph.h"
 #include "graph/types.h"
 #include "radio/power_model.h"
+#include "radio/propagation.h"
 
 namespace cbtc::util {
 class thread_pool;
@@ -81,5 +82,14 @@ struct cbtc_result {
 /// the power model supplies p(d), its inverse, and the cap P = p(R).
 [[nodiscard]] cbtc_result run_cbtc(std::span<const geom::vec2> positions,
                                    const radio::power_model& power, const cbtc_params& params);
+
+/// Gain-aware growth: neighbors are discovered in order of *required
+/// link power* (p(d) / gain), which generalizes distance order; a
+/// broadcast at power p discovers exactly the nodes whose link closes
+/// at p (the medium's decodability test). Delegates to the isotropic
+/// overload — identical results bit for bit — when `link` carries no
+/// per-link gains.
+[[nodiscard]] cbtc_result run_cbtc(std::span<const geom::vec2> positions,
+                                   const radio::link_model& link, const cbtc_params& params);
 
 }  // namespace cbtc::algo

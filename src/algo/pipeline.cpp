@@ -33,4 +33,10 @@ topology_result build_topology(std::span<const geom::vec2> positions,
   return apply_optimizations(run_cbtc(positions, power, params), positions, opts);
 }
 
+topology_result build_topology(std::span<const geom::vec2> positions,
+                               const radio::link_model& link, const cbtc_params& params,
+                               const optimization_set& opts) {
+  return apply_optimizations(run_cbtc(positions, link, params), positions, opts);
+}
+
 }  // namespace cbtc::algo

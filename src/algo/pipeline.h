@@ -16,6 +16,7 @@
 #include "geom/vec2.h"
 #include "graph/graph.h"
 #include "radio/power_model.h"
+#include "radio/propagation.h"
 
 namespace cbtc::algo {
 
@@ -57,6 +58,13 @@ struct topology_result {
 /// Equivalent to apply_optimizations(run_cbtc(...), positions, opts).
 [[nodiscard]] topology_result build_topology(std::span<const geom::vec2> positions,
                                              const radio::power_model& power,
+                                             const cbtc_params& params,
+                                             const optimization_set& opts = {});
+
+/// Gain-aware variant (isotropic propagation delegates to the plain
+/// power-model path, bit for bit).
+[[nodiscard]] topology_result build_topology(std::span<const geom::vec2> positions,
+                                             const radio::link_model& link,
                                              const cbtc_params& params,
                                              const optimization_set& opts = {});
 

@@ -121,7 +121,8 @@ bool alive_subgraph_connected(const graph::undirected_graph& g, const std::vecto
 dynamic_report engine::run_dynamic(const scenario_spec& spec, const sim_spec& sim_cfg,
                                    std::uint64_t seed) const {
   const std::vector<geom::vec2> positions = spec.make_positions(seed);
-  const radio::power_model pm = spec.power();
+  const radio::link_model link = spec.link(seed);
+  const radio::power_model& pm = link.power();
   const std::uint64_t instance_seed = spec.base_seed + seed;
 
   dynamic_report r;
@@ -129,7 +130,7 @@ dynamic_report engine::run_dynamic(const scenario_spec& spec, const sim_spec& si
   r.nodes = positions.size();
 
   sim::simulator simulator;
-  sim::medium medium(simulator, pm, radio::channel(spec.protocol.channel, instance_seed),
+  sim::medium medium(simulator, link, radio::channel(spec.protocol.channel, instance_seed),
                      radio::direction_estimator(spec.protocol.direction_noise, instance_seed + 1));
 
   proto::reconfig_config cfg;
@@ -150,8 +151,9 @@ dynamic_report engine::run_dynamic(const scenario_spec& spec, const sim_spec& si
 
   // The incremental live G_R: mirrored from the medium through hooks,
   // never rebuilt. The union-find monitor answers field connectivity
-  // at event granularity.
-  graph::live_neighbor_index index(positions, pm.max_range());
+  // at event granularity. Link-aware: under a non-uniform propagation
+  // model the index maintains exactly the links that close at P.
+  graph::live_neighbor_index index(positions, link);
   graph::connectivity_monitor field_monitor(index);
   util::thread_pool pool(spec.cbtc.intra_threads);
   graph::connectivity_scratch scratch;
@@ -216,6 +218,15 @@ dynamic_report engine::run_dynamic(const scenario_spec& spec, const sim_spec& si
 
   const auto evaluate_now = [&] {
     eval_scheduled = false;
+    if (mirror) {
+      // In-place: read the mirror's and the index's adjacency directly
+      // — no per-evaluation graph snapshots on the dense-churn path.
+      // Verdict identical to the snapshot comparison (partitions, not
+      // representations, decide); asserted in api_sim_test.
+      track(simulator.now(), graph::same_connectivity(*mirror, index, scratch),
+            field_monitor.connected());
+      return;
+    }
     const live_state s = capture_live_state(index, agents, mirror.get());
     track(simulator.now(), graph::same_connectivity(s.topology, s.gr, pool, scratch),
           field_monitor.connected());
@@ -354,7 +365,8 @@ lifetime_report engine::run_lifetime(const scenario_spec& spec, const lifetime_s
   std::vector<geom::vec2> positions;
   graph::undirected_graph gr;
   const run_report built = run_internal(topo_spec, seed, &positions, &gr);
-  const radio::power_model pm = spec.power();
+  const radio::link_model link = spec.link(seed);
+  const radio::power_model& pm = link.power();
   const graph::undirected_graph& topology = built.topology;
 
   const std::size_t n = positions.size();
@@ -368,12 +380,29 @@ lifetime_report engine::run_lifetime(const scenario_spec& spec, const lifetime_s
   // Per-slot writes: identical for any intra-thread count.
   util::thread_pool pool(spec.cbtc.intra_threads);
   std::vector<double> beacon(n, 0.0);
-  pool.parallel_for(n, [&](std::size_t u) {
-    beacon[u] =
-        std::pow(graph::node_radius(topology, positions, static_cast<graph::node_id>(u), 0.0),
-                 pm.exponent());
-  });
-  const graph::edge_cost_fn cost = graph::power_cost(positions, pm.exponent());
+  if (link.is_isotropic()) {
+    pool.parallel_for(n, [&](std::size_t u) {
+      beacon[u] =
+          std::pow(graph::node_radius(topology, positions, static_cast<graph::node_id>(u), 0.0),
+                   pm.exponent());
+    });
+  } else {
+    // Per-link budget: the beacon must close the worst incident link.
+    pool.parallel_for(n, [&](std::size_t u) {
+      const auto uid = static_cast<graph::node_id>(u);
+      double need = 0.0;
+      for (const graph::node_id v : topology.neighbors(uid)) {
+        need = std::max(need, link.required_power(uid, v, positions[u], positions[v]));
+      }
+      beacon[u] = need;
+    });
+  }
+  const graph::edge_cost_fn cost =
+      link.is_isotropic() ? graph::power_cost(positions, pm.exponent())
+                          : graph::edge_cost_fn([link, &positions](graph::node_id a,
+                                                                   graph::node_id b) {
+                              return link.required_power(a, b, positions[a], positions[b]);
+                            });
 
   lifetime_report res;
   std::size_t deaths = 0;

@@ -85,14 +85,15 @@ run_report engine::run_internal(const scenario_spec& spec, std::uint64_t seed,
                                 std::vector<geom::vec2>* positions_out,
                                 graph::undirected_graph* max_power_out) const {
   std::vector<geom::vec2> positions = spec.make_positions(seed);
-  const radio::power_model pm = spec.power();
+  const radio::link_model link = spec.link(seed);
+  const radio::power_model& pm = link.power();
   const double R = pm.max_range();
 
   run_report r;
   r.seed = seed;
   r.nodes = positions.size();
 
-  graph::undirected_graph gr = graph::build_max_power_graph(positions, R);
+  graph::undirected_graph gr = graph::build_max_power_graph(positions, link);
   r.max_power_edges = gr.num_edges();
 
   const auto adopt = [&r](algo::topology_result t) {
@@ -104,7 +105,7 @@ run_report engine::run_internal(const scenario_spec& spec, std::uint64_t seed,
   };
   switch (spec.method.k) {
     case method_spec::kind::oracle:
-      adopt(algo::build_topology(positions, pm, spec.cbtc, spec.opts));
+      adopt(algo::build_topology(positions, link, spec.cbtc, spec.opts));
       break;
     case method_spec::kind::protocol: {
       proto::protocol_run_config cfg = spec.protocol;
@@ -116,7 +117,7 @@ run_report engine::run_internal(const scenario_spec& spec, std::uint64_t seed,
       cfg.seed = spec.base_seed + seed;
       cfg.send_drop_notices =
           spec.opts.asymmetric_removal && algo::asymmetric_removal_applicable(spec.cbtc.alpha);
-      proto::protocol_run_result pr = proto::run_protocol(positions, pm, cfg);
+      proto::protocol_run_result pr = proto::run_protocol(positions, link, cfg);
       r.has_protocol_stats = true;
       r.protocol_stats = pr.stats;
       r.completion_time = pr.completion_time;
@@ -148,7 +149,11 @@ run_report engine::run_internal(const scenario_spec& spec, std::uint64_t seed,
     r.max_radius = r.nodes == 0 ? 0.0 : R;
   } else {
     // Per-node radius pass: powers land per slot, the sum/max reduce in
-    // fixed block order — identical output for any intra_threads.
+    // fixed block order — identical output for any intra_threads. The
+    // radius metric stays geometric (the paper's rad_u) under every
+    // propagation model; the power is the per-link budget, which for
+    // isotropic gains is exactly p(rad_u).
+    const bool isotropic = link.is_isotropic();
     struct radius_partial {
       double sum{0.0};
       double max{0.0};
@@ -159,7 +164,19 @@ run_report engine::run_internal(const scenario_spec& spec, std::uint64_t seed,
           radius_partial part;
           for (std::size_t u = lo; u < hi; ++u) {
             const double rad = graph::node_radius(r.topology, positions, u, R);
-            r.node_powers[u] = pm.required_power(rad);
+            if (isotropic) {
+              r.node_powers[u] = pm.required_power(rad);
+            } else {
+              const auto uid = static_cast<graph::node_id>(u);
+              double need = 0.0;
+              for (const graph::node_id v : r.topology.neighbors(uid)) {
+                need = std::max(need, link.required_power(uid, v, positions[u], positions[v]));
+              }
+              // Isolated (boundary) nodes still broadcast at P, the
+              // same convention the geometric pass encodes via the
+              // isolated radius R.
+              r.node_powers[u] = r.topology.degree(uid) == 0 ? pm.max_power() : need;
+            }
             part.sum += rad;
             part.max = std::max(part.max, rad);
           }
@@ -176,7 +193,7 @@ run_report engine::run_internal(const scenario_spec& spec, std::uint64_t seed,
   for (const double p : r.node_powers) power_sum += p;
   r.avg_power = r.nodes == 0 ? 0.0 : power_sum / static_cast<double>(r.nodes);
 
-  r.invariants = algo::check_invariants(r.topology, positions, R, gr, pool);
+  r.invariants = algo::check_invariants(r.topology, positions, link, gr, pool);
 
   if (spec.metrics.stretch) {
     const graph::stretch_stats ps =

@@ -34,6 +34,25 @@ radio::power_model scenario_spec::power() const {
   return radio::power_model(radio.path_loss_exponent, radio.max_range);
 }
 
+radio::propagation_model propagation_spec::model(std::uint64_t instance_seed) const {
+  switch (kind) {
+    case radio::propagation_kind::isotropic:
+      return radio::propagation_model::isotropic();
+    case radio::propagation_kind::lognormal_shadowing:
+      // The spec seed and the instance seed both feed the link hash;
+      // the odd multiplier decorrelates the two streams.
+      return radio::propagation_model::lognormal_shadowing(
+          sigma_db, clamp_db, seed ^ (instance_seed * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL));
+    case radio::propagation_kind::obstacle_field:
+      return radio::propagation_model::obstacle_field(obstacles);
+  }
+  throw std::logic_error("propagation_spec: unknown propagation kind");
+}
+
+radio::link_model scenario_spec::link(std::uint64_t seed) const {
+  return radio::link_model(power(), radio.propagation.model(base_seed + seed));
+}
+
 geom::bbox scenario_spec::region() const {
   if (deploy.kind != deployment_kind::fixed || deploy.fixed.empty()) {
     return geom::bbox::rect(deploy.region_side, deploy.region_side);

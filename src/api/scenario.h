@@ -18,6 +18,7 @@
 #include "geom/vec2.h"
 #include "proto/runner.h"
 #include "radio/power_model.h"
+#include "radio/propagation.h"
 
 namespace cbtc::api {
 
@@ -44,11 +45,34 @@ struct deployment_spec {
   [[nodiscard]] static deployment_spec fixed_positions(std::vector<geom::vec2> positions);
 };
 
+/// Per-link propagation on top of the power law (radio/propagation.h).
+/// The default is isotropic: every link of the same length has the
+/// same budget, bitwise-equivalent to the plain power-model path.
+struct propagation_spec {
+  radio::propagation_kind kind{radio::propagation_kind::isotropic};
+  // lognormal_shadowing knobs (dB); clamp bounds the per-link
+  // deviation so the longest feasible link stays bounded.
+  double sigma_db{4.0};
+  double clamp_db{8.0};
+  /// Extra entropy for the shadowing hash. Mixed with the *instance*
+  /// seed, so every seed of a batch draws its own gain field and the
+  /// whole batch stays reproducible.
+  std::uint64_t seed{0};
+  // obstacle_field knob: the attenuating rectangles.
+  std::vector<radio::obstacle> obstacles;
+
+  /// The concrete model for one instance (`instance_seed` is
+  /// base_seed + run seed; only shadowing consumes it).
+  [[nodiscard]] radio::propagation_model model(std::uint64_t instance_seed) const;
+};
+
 /// Radio parameters; the power model is derived as p(d) = d^exponent
-/// with maximum range R (see radio::power_model).
+/// with maximum range R (see radio::power_model), and `propagation`
+/// selects the per-link gain layer on top.
 struct radio_spec {
   double path_loss_exponent{2.0};
   double max_range{500.0};
+  propagation_spec propagation{};
 };
 
 enum class baseline_kind {
@@ -120,6 +144,10 @@ struct scenario_spec {
 
   /// The derived radio power model.
   [[nodiscard]] radio::power_model power() const;
+
+  /// The per-link radio budget of instance `seed`: power model plus
+  /// the propagation layer (isotropic unless the spec says otherwise).
+  [[nodiscard]] radio::link_model link(std::uint64_t seed) const;
 
   /// Nominal deployment region (bounding box of `fixed` deployments).
   [[nodiscard]] geom::bbox region() const;

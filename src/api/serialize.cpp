@@ -393,6 +393,26 @@ deployment_kind parse_deployment(const std::string& name) {
   throw std::invalid_argument("scenario JSON: unknown deployment kind '" + name + "'");
 }
 
+std::string propagation_name(radio::propagation_kind k) {
+  switch (k) {
+    case radio::propagation_kind::isotropic: return "isotropic";
+    case radio::propagation_kind::lognormal_shadowing: return "lognormal_shadowing";
+    case radio::propagation_kind::obstacle_field: return "obstacle_field";
+  }
+  return "isotropic";
+}
+
+radio::propagation_kind parse_propagation_kind(const std::string& name) {
+  if (name == "isotropic") return radio::propagation_kind::isotropic;
+  if (name == "lognormal_shadowing" || name == "shadowing") {
+    return radio::propagation_kind::lognormal_shadowing;
+  }
+  if (name == "obstacle_field" || name == "obstacles") {
+    return radio::propagation_kind::obstacle_field;
+  }
+  throw std::invalid_argument("scenario JSON: unknown propagation kind '" + name + "'");
+}
+
 std::string mobility_name(mobility_kind k) {
   switch (k) {
     case mobility_kind::none: return "none";
@@ -459,6 +479,80 @@ deployment_spec deployment_from_jv(const jv& o) {
   return d;
 }
 
+/// Emits only the fields the kind consumes; isotropic propagation is
+/// the default and is omitted entirely by the caller, so existing
+/// scenario files keep their exact shape.
+jv propagation_to_jv(const propagation_spec& p) {
+  jv o = jv::object();
+  o.add("kind", jv::of(propagation_name(p.kind)));
+  if (p.kind == radio::propagation_kind::lognormal_shadowing) {
+    o.add("sigma_db", jv::of(p.sigma_db));
+    o.add("clamp_db", jv::of(p.clamp_db));
+    o.add("seed", jv::of_u64(p.seed));
+  }
+  if (p.kind == radio::propagation_kind::obstacle_field) {
+    jv obs = jv::array();
+    for (const radio::obstacle& ob : p.obstacles) {
+      jv e = jv::object();
+      jv box = jv::array();
+      box.items.push_back(jv::of(ob.box.min.x));
+      box.items.push_back(jv::of(ob.box.min.y));
+      box.items.push_back(jv::of(ob.box.max.x));
+      box.items.push_back(jv::of(ob.box.max.y));
+      e.add("box", std::move(box));
+      e.add("loss_db", jv::of(ob.loss_db));
+      obs.items.push_back(std::move(e));
+    }
+    o.add("obstacles", std::move(obs));
+  }
+  return o;
+}
+
+propagation_spec propagation_from_jv(const jv& o) {
+  require(o.k == jv::kind::object, "radio.propagation must be an object");
+  check_keys(o, "radio.propagation", {"kind", "sigma_db", "clamp_db", "seed", "obstacles"});
+  propagation_spec p;
+  p.kind = parse_propagation_kind(get_str(o, "kind", "isotropic"));
+  // Kind-foreign keys are rejected, not dropped: a stray sigma_db on
+  // an isotropic block almost certainly means the kind is wrong, and
+  // silently running without it would also vanish on re-serialization.
+  const bool shadowing_kind = p.kind == radio::propagation_kind::lognormal_shadowing;
+  for (const std::string_view key : {"sigma_db", "clamp_db", "seed"}) {
+    require(shadowing_kind || get(o, key) == nullptr,
+            std::string(key) + " is only valid for propagation kind \"lognormal_shadowing\"");
+  }
+  p.sigma_db = get_num(o, "sigma_db", p.sigma_db);
+  p.clamp_db = get_num(o, "clamp_db", p.clamp_db);
+  p.seed = get_u64(o, "seed", p.seed);
+  require(p.sigma_db >= 0.0, "radio.propagation.sigma_db must be non-negative");
+  require(p.clamp_db >= 0.0, "radio.propagation.clamp_db must be non-negative");
+  if (const jv* obs = get(o, "obstacles")) {
+    require(p.kind == radio::propagation_kind::obstacle_field,
+            "obstacles are only valid for propagation kind \"obstacle_field\"");
+    require(obs->k == jv::kind::array, "radio.propagation.obstacles must be an array");
+    for (const jv& e : obs->items) {
+      require(e.k == jv::kind::object, "each obstacle must be an object");
+      check_keys(e, "obstacle", {"box", "loss_db"});
+      const jv* box = get(e, "box");
+      require(box != nullptr && box->k == jv::kind::array && box->items.size() == 4,
+              "obstacle.box must be an [x0, y0, x1, y1] array");
+      for (const jv& c : box->items) {
+        require(c.k == jv::kind::number, "obstacle.box entries must be numbers");
+      }
+      radio::obstacle ob;
+      ob.box = {{box->items[0].num, box->items[1].num}, {box->items[2].num, box->items[3].num}};
+      require(ob.box.min.x <= ob.box.max.x && ob.box.min.y <= ob.box.max.y,
+              "obstacle.box must satisfy x0 <= x1 and y0 <= y1");
+      ob.loss_db = get_num(e, "loss_db", ob.loss_db);
+      require(ob.loss_db > 0.0, "obstacle.loss_db must be positive");
+      p.obstacles.push_back(ob);
+    }
+  }
+  require(p.kind != radio::propagation_kind::obstacle_field || !p.obstacles.empty(),
+          "propagation kind \"obstacle_field\" needs a non-empty obstacles array");
+  return p;
+}
+
 jv method_to_jv(const method_spec& m) {
   jv o = jv::object();
   o.add("name", jv::of(method_name(m)));
@@ -486,10 +580,13 @@ jv scenario_to_jv(const scenario_spec& s) {
   o.add("name", jv::of(s.name));
   o.add("deployment", deployment_to_jv(s.deploy));
   {
-    jv radio = jv::object();
-    radio.add("path_loss_exponent", jv::of(s.radio.path_loss_exponent));
-    radio.add("max_range", jv::of(s.radio.max_range));
-    o.add("radio", std::move(radio));
+    jv rad = jv::object();
+    rad.add("path_loss_exponent", jv::of(s.radio.path_loss_exponent));
+    rad.add("max_range", jv::of(s.radio.max_range));
+    if (s.radio.propagation.kind != radio::propagation_kind::isotropic) {
+      rad.add("propagation", propagation_to_jv(s.radio.propagation));
+    }
+    o.add("radio", std::move(rad));
   }
   o.add("method", method_to_jv(s.method));
   {
@@ -549,9 +646,10 @@ scenario_spec scenario_from_jv(const jv& o) {
   s.name = get_str(o, "name", s.name);
   if (const jv* d = get(o, "deployment")) s.deploy = deployment_from_jv(*d);
   if (const jv* r = get(o, "radio")) {
-    check_keys(*r, "radio", {"path_loss_exponent", "max_range"});
+    check_keys(*r, "radio", {"path_loss_exponent", "max_range", "propagation"});
     s.radio.path_loss_exponent = get_num(*r, "path_loss_exponent", s.radio.path_loss_exponent);
     s.radio.max_range = get_num(*r, "max_range", s.radio.max_range);
+    if (const jv* p = get(*r, "propagation")) s.radio.propagation = propagation_from_jv(*p);
   }
   if (const jv* m = get(o, "method")) s.method = method_from_jv(*m);
   if (const jv* c = get(o, "cbtc")) {

@@ -17,6 +17,25 @@ undirected_graph build_max_power_graph(std::span<const geom::vec2> positions, do
   return g;
 }
 
+undirected_graph build_max_power_graph(std::span<const geom::vec2> positions,
+                                       const radio::link_model& link) {
+  if (link.is_isotropic()) return build_max_power_graph(positions, link.max_range());
+  undirected_graph g(positions.size());
+  const double reach = link.max_candidate_range();
+  if (positions.empty() || reach <= 0.0) return g;
+  const geom::spatial_grid grid(positions, reach);
+  const double max_power = link.max_power();
+  std::vector<geom::point_index> hits;
+  for (node_id u = 0; u < positions.size(); ++u) {
+    hits.clear();
+    grid.query_radius_into(positions[u], reach, u, hits);
+    for (geom::point_index v : hits) {
+      if (u < v && link.reaches(max_power, u, v, positions[u], positions[v])) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
 undirected_graph build_max_power_graph_brute(std::span<const geom::vec2> positions,
                                              double max_range) {
   undirected_graph g(positions.size());
@@ -24,6 +43,19 @@ undirected_graph build_max_power_graph_brute(std::span<const geom::vec2> positio
   for (node_id u = 0; u < positions.size(); ++u) {
     for (node_id v = u + 1; v < positions.size(); ++v) {
       if (geom::distance_sq(positions[u], positions[v]) <= r_sq) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+undirected_graph build_max_power_graph_brute(std::span<const geom::vec2> positions,
+                                             const radio::link_model& link) {
+  if (link.is_isotropic()) return build_max_power_graph_brute(positions, link.max_range());
+  undirected_graph g(positions.size());
+  const double max_power = link.max_power();
+  for (node_id u = 0; u < positions.size(); ++u) {
+    for (node_id v = u + 1; v < positions.size(); ++v) {
+      if (link.reaches(max_power, u, v, positions[u], positions[v])) g.add_edge(u, v);
     }
   }
   return g;

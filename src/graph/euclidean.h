@@ -3,7 +3,10 @@
 // G_R = (V, E) with E = {(u,v) : d(u,v) <= R} is the graph induced when
 // every node transmits at maximum power (Section 1 of the paper). It is
 // the connectivity baseline every topology-control output is compared
-// against.
+// against. Under a non-uniform propagation model the membership test
+// generalizes to "the link closes at maximum power"; the link-model
+// overloads below prune by the maximum feasible link length, then
+// filter per link.
 #pragma once
 
 #include <span>
@@ -13,6 +16,7 @@
 #include "geom/vec2.h"
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "radio/propagation.h"
 
 namespace cbtc::graph {
 
@@ -20,9 +24,19 @@ namespace cbtc::graph {
 [[nodiscard]] undirected_graph build_max_power_graph(std::span<const geom::vec2> positions,
                                                      double max_range);
 
+/// Gain-aware G_R: edge {u, v} iff the link closes at maximum power
+/// under `link`. Delegates to the distance test when the propagation
+/// is isotropic (bitwise-identical edge set).
+[[nodiscard]] undirected_graph build_max_power_graph(std::span<const geom::vec2> positions,
+                                                     const radio::link_model& link);
+
 /// Reference O(n^2) construction, used to cross-check the grid path.
 [[nodiscard]] undirected_graph build_max_power_graph_brute(std::span<const geom::vec2> positions,
                                                            double max_range);
+
+/// Reference O(n^2) construction of the gain-aware G_R.
+[[nodiscard]] undirected_graph build_max_power_graph_brute(std::span<const geom::vec2> positions,
+                                                           const radio::link_model& link);
 
 /// Length of edge {u, v} under the given layout.
 [[nodiscard]] double edge_length(std::span<const geom::vec2> positions, node_id u, node_id v);

@@ -11,15 +11,39 @@ live_neighbor_index::live_neighbor_index(std::span<const geom::vec2> positions, 
       live_(positions.size(), true),
       live_count_(positions.size()),
       adj_(positions.size()) {
-  if (max_range <= 0.0) return;  // degenerate radio: no edges ever
+  build();
+}
+
+live_neighbor_index::live_neighbor_index(std::span<const geom::vec2> positions,
+                                         const radio::link_model& lm)
+    : max_range_(lm.max_candidate_range()),
+      link_(lm.is_isotropic() ? std::nullopt : std::optional<radio::link_model>(lm)),
+      grid_(lm.max_candidate_range() > 0.0 ? lm.max_candidate_range() : 1.0),
+      positions_(positions.begin(), positions.end()),
+      live_(positions.size(), true),
+      live_count_(positions.size()),
+      adj_(positions.size()) {
+  build();
+}
+
+void live_neighbor_index::build() {
+  if (max_range_ <= 0.0) return;  // degenerate radio: no edges ever
   // Insert points one at a time and query before inserting, so every
-  // in-range pair links exactly once.
+  // reachable pair links exactly once (filter_reachable is a no-op for
+  // distance indexes — the query radius already decided).
   for (node_id u = 0; u < positions_.size(); ++u) {
     scratch_.clear();
     grid_.query_radius_into(positions_[u], max_range_, geom::spatial_grid::npos, scratch_);
+    filter_reachable(u, scratch_);
     grid_.insert(u, positions_[u]);
     for (const geom::point_index v : scratch_) link(u, v);
   }
+}
+
+void live_neighbor_index::filter_reachable(node_id u,
+                                           std::vector<geom::point_index>& candidates) const {
+  if (!link_) return;  // distance index: the query radius already decided
+  std::erase_if(candidates, [&](geom::point_index v) { return !link_closes(u, v); });
 }
 
 void live_neighbor_index::link(node_id u, node_id v) {
@@ -51,6 +75,7 @@ void live_neighbor_index::move(node_id u, const geom::vec2& p) {
 
   scratch_.clear();
   grid_.query_radius_into(p, max_range_, u, scratch_);
+  filter_reachable(u, scratch_);
   std::sort(scratch_.begin(), scratch_.end());
 
   // Diff the sorted old and new neighbor sets.
@@ -92,6 +117,7 @@ void live_neighbor_index::insert(node_id u, const geom::vec2& p) {
   if (node_observer_) node_observer_(u, true);
   scratch_.clear();
   grid_.query_radius_into(p, max_range_, u, scratch_);
+  filter_reachable(u, scratch_);
   std::sort(scratch_.begin(), scratch_.end());
   for (const geom::point_index v : scratch_) link(u, v);
 }
@@ -148,6 +174,22 @@ undirected_graph closure_mirror::live_graph() const {
     }
   }
   return undirected_graph::from_adjacency(std::move(out));
+}
+
+bool same_connectivity(const closure_mirror& topology, const live_neighbor_index& max_power,
+                       connectivity_scratch& scratch) {
+  const std::size_t n = topology.num_nodes();
+  if (n != max_power.num_nodes()) return false;
+  // Both views isolate down nodes: the mirror filters by liveness, the
+  // index drops a node's adjacency on erase. Partitions therefore
+  // match the snapshot comparison's exactly.
+  return same_connectivity_views(
+      n,
+      [&](node_id u, auto&& emit) { topology.for_each_live_neighbor(u, emit); },
+      [&](node_id u, auto&& emit) {
+        for (const node_id v : max_power.neighbors(u)) emit(v);
+      },
+      scratch);
 }
 
 connectivity_monitor::connectivity_monitor(live_neighbor_index& index)

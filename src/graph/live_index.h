@@ -22,14 +22,17 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "geom/dynamic_grid.h"
 #include "geom/vec2.h"
 #include "graph/graph.h"
+#include "graph/traversal.h"
 #include "graph/types.h"
 #include "graph/union_find.h"
+#include "radio/propagation.h"
 
 namespace cbtc::graph {
 
@@ -41,6 +44,13 @@ class live_neighbor_index {
 
   /// Builds the index over `positions`, all nodes initially up.
   live_neighbor_index(std::span<const geom::vec2> positions, double max_range);
+
+  /// Gain-aware index: maintains the live *link-model* G_R — edges are
+  /// links that close at maximum power. The grid prunes by the longest
+  /// feasible link; every candidate is filtered per link. With
+  /// isotropic propagation this is the distance index above, edge for
+  /// edge.
+  live_neighbor_index(std::span<const geom::vec2> positions, const radio::link_model& link);
 
   /// Moves live node `u` (no-op edge-wise when nothing enters or
   /// leaves its range).
@@ -79,10 +89,21 @@ class live_neighbor_index {
   void set_node_observer(node_observer obs) { node_observer_ = std::move(obs); }
 
  private:
+  /// Shared constructor body: populates the grid and links every
+  /// reachable pair exactly once (query before insert).
+  void build();
   void link(node_id u, node_id v);
   void unlink(node_id u, node_id v);
+  /// Per-link feasibility filter (always true for distance indexes —
+  /// the grid query radius already decided).
+  [[nodiscard]] bool link_closes(node_id u, node_id v) const {
+    return !link_ || link_->reaches(link_->max_power(), u, v, positions_[u], positions_[v]);
+  }
+  /// Drops grid candidates whose link does not close, in place.
+  void filter_reachable(node_id u, std::vector<geom::point_index>& candidates) const;
 
   double max_range_;
+  std::optional<radio::link_model> link_;  // engaged only for non-isotropic models
   std::uint64_t version_{0};
   geom::dynamic_grid grid_;
   std::vector<geom::vec2> positions_;
@@ -126,9 +147,21 @@ class closure_mirror {
   void set_live(node_id u, bool up);
 
   [[nodiscard]] std::size_t num_nodes() const { return live_.size(); }
+  [[nodiscard]] bool is_live(node_id u) const { return live_[u]; }
 
   /// The live symmetric closure: nodes that are down are isolated.
   [[nodiscard]] undirected_graph live_graph() const;
+
+  /// Calls `f(v)` for every live neighbor of `u` (ascending v; nothing
+  /// when `u` is down). This is the in-place adjacency view the
+  /// connectivity comparison below reads — no snapshot graph needed.
+  template <class F>
+  void for_each_live_neighbor(node_id u, F&& f) const {
+    if (!live_[u]) return;
+    for (const entry& e : adj_[u]) {
+      if (live_[e.v]) f(e.v);
+    }
+  }
 
  private:
   struct entry {
@@ -139,6 +172,16 @@ class closure_mirror {
   std::vector<std::vector<entry>> adj_;  // sorted by v
   std::vector<bool> live_;
 };
+
+/// In-place connectivity-preservation check: compares the partition of
+/// the mirrored closure topology against the live G_R index without
+/// materializing either graph — the allocation-free path the dynamic
+/// engine runs at every topology-changing event (dense-churn runs used
+/// to copy both graphs per evaluation). Verdict identical to
+/// same_connectivity(mirror.live_graph(), index.graph(), ...).
+[[nodiscard]] bool same_connectivity(const closure_mirror& topology,
+                                     const live_neighbor_index& max_power,
+                                     connectivity_scratch& scratch);
 
 /// Event-driven union-find connectivity monitor over a
 /// live_neighbor_index (see header comment). Installs itself as the

@@ -67,6 +67,74 @@ struct connectivity_scratch {
 [[nodiscard]] bool same_connectivity(const undirected_graph& a, const undirected_graph& b,
                                      util::thread_pool& pool, connectivity_scratch& scratch);
 
+// ---- adjacency-view comparison --------------------------------------
+// same_connectivity without materializing graphs: callers that hold an
+// incremental adjacency (graph::closure_mirror, live_neighbor_index)
+// compare partitions in place instead of snapshotting two
+// undirected_graphs per evaluation. A view is a callable
+// `view(u, emit)` invoking `emit(v)` for every neighbor v of u (each
+// edge visible from both endpoints). The verdict is identical to the
+// graph overloads: partitions — not forest shapes — decide.
+
+namespace detail {
+
+inline node_id view_uf_find(std::vector<node_id>& parent, node_id x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];  // path halving
+    x = parent[x];
+  }
+  return x;
+}
+
+template <class NeighborView>
+std::size_t view_uf_build(std::size_t n, NeighborView&& view, std::vector<node_id>& parent,
+                          std::vector<std::uint32_t>& size) {
+  parent.resize(n);
+  size.assign(n, 1);
+  for (node_id u = 0; u < n; ++u) parent[u] = u;
+  std::size_t sets = n;
+  for (node_id u = 0; u < n; ++u) {
+    view(u, [&](node_id v) {
+      if (v <= u) return;  // each edge once
+      node_id ra = view_uf_find(parent, u);
+      node_id rb = view_uf_find(parent, v);
+      if (ra == rb) return;
+      if (size[ra] < size[rb]) {
+        const node_id t = ra;
+        ra = rb;
+        rb = t;
+      }
+      parent[rb] = ra;
+      size[ra] += size[rb];
+      --sets;
+    });
+  }
+  for (node_id u = 0; u < n; ++u) parent[u] = view_uf_find(parent, u);
+  return sets;
+}
+
+}  // namespace detail
+
+/// Partition equality of two adjacency views over the same node set
+/// (see above). Allocation-free after the first use of `scratch`.
+template <class ViewA, class ViewB>
+[[nodiscard]] bool same_connectivity_views(std::size_t n, ViewA&& a, ViewB&& b,
+                                           connectivity_scratch& scratch) {
+  if (detail::view_uf_build(n, a, scratch.root_a, scratch.size_a) !=
+      detail::view_uf_build(n, b, scratch.root_b, scratch.size_b)) {
+    return false;
+  }
+  // Equal component counts + "a refines b" force partition equality
+  // (same argument as the graph overloads).
+  bool within = true;
+  for (node_id u = 0; u < n && within; ++u) {
+    a(u, [&](node_id v) {
+      if (v > u && scratch.root_b[u] != scratch.root_b[v]) within = false;
+    });
+  }
+  return within;
+}
+
 /// Shortest path in hops from `from` to `to`; empty if unreachable.
 /// The returned path includes both endpoints.
 [[nodiscard]] std::vector<node_id> bfs_path(const undirected_graph& g, node_id from, node_id to);

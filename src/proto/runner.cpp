@@ -6,10 +6,10 @@
 namespace cbtc::proto {
 
 protocol_run_result run_protocol(std::span<const geom::vec2> positions,
-                                 const radio::power_model& power,
+                                 const radio::link_model& link,
                                  const protocol_run_config& cfg) {
   sim::simulator simulator;
-  sim::medium medium(simulator, power, radio::channel(cfg.channel, cfg.seed),
+  sim::medium medium(simulator, link, radio::channel(cfg.channel, cfg.seed),
                      radio::direction_estimator(cfg.direction_noise, cfg.seed + 1));
 
   std::vector<std::unique_ptr<cbtc_agent>> agents;

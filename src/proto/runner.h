@@ -13,6 +13,7 @@
 #include "radio/channel.h"
 #include "radio/direction.h"
 #include "radio/power_model.h"
+#include "radio/propagation.h"
 #include "sim/medium.h"
 #include "sim/simulator.h"
 
@@ -38,9 +39,11 @@ struct protocol_run_result {
 };
 
 /// Runs the full growing phase (plus optional drop-notice round) for
-/// every node and returns the collected results.
+/// every node and returns the collected results. `link` carries the
+/// power model plus the per-link propagation; a bare power_model
+/// converts implicitly (isotropic, bitwise-identical behaviour).
 [[nodiscard]] protocol_run_result run_protocol(std::span<const geom::vec2> positions,
-                                               const radio::power_model& power,
+                                               const radio::link_model& link,
                                                const protocol_run_config& cfg);
 
 }  // namespace cbtc::proto

@@ -1,4 +1,5 @@
-// Radio power model.
+// Radio power model — the *isotropic* special case of the per-link
+// propagation layer (see radio/propagation.h).
 //
 // The paper assumes every node has a power function p where p(d) is the
 // minimum power needed to reach a node at distance d, that the power
@@ -11,6 +12,12 @@
 //   rx_power = tx_power / d^n   and   "decodable" <=> rx_power >= 1.
 // The algorithm only ever consumes *ratios* of powers, so the constants
 // cancel and this loses no generality (see DESIGN.md, substitutions).
+//
+// Non-uniform fields (lognormal shadowing, obstacle attenuation) scale
+// these quantities by a per-link gain; radio::link_model composes this
+// class with a radio::propagation_model and is what reachability
+// consumers take. A link_model with the default isotropic propagation
+// reproduces this class's arithmetic bit for bit.
 #pragma once
 
 #include <cstdint>

@@ -4,9 +4,9 @@
 
 namespace cbtc::sim {
 
-medium::medium(simulator& sim, radio::power_model pm, radio::channel ch,
+medium::medium(simulator& sim, radio::link_model lm, radio::channel ch,
                radio::direction_estimator de)
-    : sim_(sim), power_(std::move(pm)), channel_(std::move(ch)), direction_(std::move(de)) {}
+    : sim_(sim), link_(std::move(lm)), channel_(std::move(ch)), direction_(std::move(de)) {}
 
 node_id medium::add_node(const geom::vec2& position, rx_handler handler) {
   const auto id = static_cast<node_id>(positions_.size());
@@ -26,7 +26,7 @@ void medium::broadcast(node_id from, double tx_power, std::any payload) {
   for (node_id to = 0; to < positions_.size(); ++to) {
     if (to == from || !up_[to]) continue;
     const double d = geom::distance(origin, positions_[to]);
-    if (!power_.reaches(tx_power, d)) continue;
+    if (!link_.reaches_at(tx_power, d, from, to, origin, positions_[to])) continue;
     deliver(from, to, tx_power, d, payload);
   }
 }
@@ -38,7 +38,9 @@ void medium::unicast(node_id from, node_id to, double tx_power, std::any payload
   node_energy_[from] += tx_power;
   if (to >= positions_.size() || !up_[to]) return;
   const double d = geom::distance(positions_[from], positions_[to]);
-  if (!power_.reaches(tx_power, d)) return;  // out of range: radio silence
+  if (!link_.reaches_at(tx_power, d, from, to, positions_[from], positions_[to])) {
+    return;  // out of range: radio silence
+  }
   deliver(from, to, tx_power, d, payload);
 }
 
@@ -53,7 +55,11 @@ void medium::deliver(node_id from, node_id to, double tx_power, double distance,
     rx_info info;
     info.sender = from;
     info.tx_power = tx_power;
-    info.rx_power = power_.rx_power(tx_power, distance);
+    // Gain-adjusted reception power: the receiver's estimate tx/rx
+    // then equals the true per-link required power p(d)/gain, so the
+    // protocol's power arithmetic works unchanged under any model.
+    info.rx_power = link_.rx_power_at(tx_power, distance, from, to, positions_[from],
+                                      positions_[to]);
     info.direction = direction_.measure(positions_[to], positions_[from]);
     sim_.schedule_in(delay, [this, to, info, payload]() mutable {
       if (!up_[to]) return;  // crashed while the message was in flight

@@ -23,6 +23,7 @@
 #include "radio/channel.h"
 #include "radio/direction.h"
 #include "radio/power_model.h"
+#include "radio/propagation.h"
 #include "sim/simulator.h"
 
 namespace cbtc::sim {
@@ -51,7 +52,10 @@ struct medium_stats {
 
 class medium {
  public:
-  medium(simulator& sim, radio::power_model pm, radio::channel ch = radio::channel{},
+  /// `lm` carries the power model plus the per-link propagation; a
+  /// bare radio::power_model converts implicitly (isotropic gains,
+  /// bitwise-identical delivery decisions).
+  medium(simulator& sim, radio::link_model lm, radio::channel ch = radio::channel{},
          radio::direction_estimator de = radio::direction_estimator{});
 
   /// Registers a node; returns its id (dense, starting at 0).
@@ -94,7 +98,8 @@ class medium {
   }
   [[nodiscard]] bool is_up(node_id u) const { return up_[u]; }
 
-  [[nodiscard]] const radio::power_model& power() const { return power_; }
+  [[nodiscard]] const radio::power_model& power() const { return link_.power(); }
+  [[nodiscard]] const radio::link_model& link() const { return link_; }
   [[nodiscard]] const medium_stats& stats() const { return stats_; }
   /// Cumulative transmit energy spent by one node (sum of tx powers).
   [[nodiscard]] double tx_energy(node_id u) const { return node_energy_[u]; }
@@ -105,7 +110,7 @@ class medium {
                const std::any& payload);
 
   simulator& sim_;
-  radio::power_model power_;
+  radio::link_model link_;
   radio::channel channel_;
   radio::direction_estimator direction_;
   std::vector<geom::vec2> positions_;

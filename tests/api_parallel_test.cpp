@@ -134,8 +134,6 @@ TEST(ApiParallel, LifetimeIsThreadCountInvariant) {
   EXPECT_EQ(serial.field_partition, parallel.field_partition);
 }
 
-// ---- executor nesting: batch x intra threads ------------------------
-
 void expect_identical_summary(const exp::summary& a, const exp::summary& b, const char* what) {
   EXPECT_EQ(a.count(), b.count()) << what;
   EXPECT_EQ(a.mean(), b.mean()) << what;  // bitwise: no tolerance
@@ -143,6 +141,117 @@ void expect_identical_summary(const exp::summary& a, const exp::summary& b, cons
   EXPECT_EQ(a.min(), b.min()) << what;
   EXPECT_EQ(a.max(), b.max()) << what;
 }
+
+// ---- per-link propagation: same contracts, non-uniform gains --------
+
+/// An explicit isotropic propagation block must be a no-op: the spec
+/// resolves to the identical link model, so the report is
+/// bitwise-identical to the default (pre-propagation) path.
+TEST(ApiParallel, ExplicitIsotropicPropagationIsInvisible) {
+  scenario_spec with = big_spec(1);
+  with.radio.propagation.kind = radio::propagation_kind::isotropic;
+  const engine eng;
+  expect_bitwise_equal(eng.run(big_spec(1), 0), eng.run(with, 0));
+}
+
+scenario_spec shadowed_big_spec(unsigned intra_threads) {
+  scenario_spec spec = big_spec(intra_threads);
+  spec.deploy.nodes = 900;
+  spec.deploy.region_side = 4500.0;
+  spec.radio.propagation = {.kind = radio::propagation_kind::lognormal_shadowing,
+                            .sigma_db = 4.0,
+                            .clamp_db = 8.0};
+  spec.opts = {.shrink_back = true};  // op3's proof is unit-disk-only
+  return spec;
+}
+
+TEST(ApiParallel, ShadowedStaticRunIsBitwiseIdenticalAcrossIntraThreads) {
+  const engine eng;
+  for (const std::uint64_t seed : {0ull, 7ull}) {
+    expect_bitwise_equal(eng.run(shadowed_big_spec(1), seed), eng.run(shadowed_big_spec(4), seed));
+  }
+}
+
+TEST(ApiParallel, ShadowedBatchIsBitwiseIdenticalAcrossThreadCounts) {
+  scenario_spec spec = shadowed_big_spec(1);
+  spec.deploy.nodes = 150;
+  spec.deploy.region_side = 1837.0;
+  const engine eng;
+  const seed_range seeds{0, 40};
+  const batch_report reference = eng.run_batch(spec, seeds, 1);
+  ASSERT_EQ(reference.runs, 40u);
+  for (const unsigned threads : {4u, 8u}) {
+    spec.cbtc.intra_threads = threads == 4 ? 2 : 1;
+    const batch_report b = eng.run_batch(spec, seeds, threads);
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    EXPECT_EQ(reference.connectivity_failures, b.connectivity_failures);
+    expect_identical_summary(reference.edges, b.edges, "edges");
+    expect_identical_summary(reference.radius, b.radius, "radius");
+    expect_identical_summary(reference.tx_power, b.tx_power, "tx_power");
+    expect_identical_summary(reference.boundary, b.boundary, "boundary");
+  }
+}
+
+TEST(ApiParallel, ShadowedDynamicRunIsBitwiseIdenticalAcrossIntraThreads) {
+  scenario_spec spec;
+  spec.deploy = {.kind = deployment_kind::uniform, .nodes = 30, .region_side = 1100.0};
+  spec.base_seed = 515;
+  spec.method = method_spec::protocol();
+  spec.protocol.agent.round_timeout = 0.25;
+  spec.radio.propagation = {.kind = radio::propagation_kind::lognormal_shadowing,
+                            .sigma_db = 3.0,
+                            .clamp_db = 6.0};
+
+  sim_spec dyn;
+  dyn.horizon = 25.0;
+  dyn.settle = 8.0;
+  dyn.sample_every = 2.0;
+  dyn.mobility = {.kind = mobility_kind::random_waypoint,
+                  .min_speed = 1.0,
+                  .max_speed = 3.0,
+                  .tick = 0.5,
+                  .start = 8.0};
+  dyn.failures = {.random_crashes = 2, .window_begin = 10.0, .window_end = 16.0};
+
+  const engine eng;
+  scenario_spec four = spec;
+  four.cbtc.intra_threads = 4;
+  const dynamic_report a = eng.run_dynamic(spec, dyn, 1);
+  const dynamic_report b = eng.run_dynamic(four, dyn, 1);
+  EXPECT_EQ(a.final_topology, b.final_topology);
+  EXPECT_EQ(a.disruptions, b.disruptions);
+  EXPECT_EQ(a.field_downtime, b.field_downtime);
+  EXPECT_EQ(a.time_to_partition, b.time_to_partition);
+  EXPECT_EQ(a.channel.broadcasts, b.channel.broadcasts);
+  EXPECT_EQ(a.channel.tx_energy, b.channel.tx_energy);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].edges, b.samples[i].edges) << "sample " << i;
+    EXPECT_EQ(a.samples[i].avg_radius, b.samples[i].avg_radius) << "sample " << i;  // bitwise
+  }
+}
+
+TEST(ApiParallel, ShadowedLifetimeIsThreadCountInvariant) {
+  scenario_spec spec;
+  spec.deploy = {.kind = deployment_kind::uniform, .nodes = 50, .region_side = 1200.0};
+  spec.base_seed = 88;
+  spec.cbtc.mode = algo::growth_mode::continuous;
+  spec.opts = {.shrink_back = true};
+  spec.radio.propagation = {.kind = radio::propagation_kind::lognormal_shadowing,
+                            .sigma_db = 4.0,
+                            .clamp_db = 8.0};
+  const lifetime_spec life{.battery_rounds = 25.0, .flows = 15, .max_rounds = 2000};
+  const engine eng;
+  const lifetime_report serial = eng.run_lifetime(spec, life, 0);
+  scenario_spec four = spec;
+  four.cbtc.intra_threads = 4;
+  const lifetime_report parallel = eng.run_lifetime(four, life, 0);
+  EXPECT_EQ(serial.first_death, parallel.first_death);
+  EXPECT_EQ(serial.quarter_dead, parallel.quarter_dead);
+  EXPECT_EQ(serial.field_partition, parallel.field_partition);
+}
+
+// ---- executor nesting: batch x intra threads ------------------------
 
 /// Every (batch threads, intra threads) combination — including
 /// oversubscribed ones far beyond the machine — must produce the

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <random>
 #include <string>
 
 #include "api/api.h"
@@ -195,6 +196,178 @@ TEST(ApiSerialize, MalformedInputFailsLoudly) {
   const scenario_file sci =
       parse_scenario_json(R"({"scenario": {"deployment": {"nodes": 1e2}}})");
   EXPECT_EQ(sci.scenario.deploy.nodes, 100u);
+}
+
+TEST(ApiSerialize, PropagationRoundTripsAllKinds) {
+  // Shadowing: every knob, including an exact-u64 seed.
+  scenario_file f;
+  f.scenario.radio.propagation = {.kind = radio::propagation_kind::lognormal_shadowing,
+                                  .sigma_db = 5.5,
+                                  .clamp_db = 11.0,
+                                  .seed = 0xfeedfacecafebeefULL};
+  scenario_file parsed = parse_scenario_json(to_json(f));
+  EXPECT_EQ(parsed.scenario.radio.propagation.kind,
+            radio::propagation_kind::lognormal_shadowing);
+  EXPECT_DOUBLE_EQ(parsed.scenario.radio.propagation.sigma_db, 5.5);
+  EXPECT_DOUBLE_EQ(parsed.scenario.radio.propagation.clamp_db, 11.0);
+  EXPECT_EQ(parsed.scenario.radio.propagation.seed, 0xfeedfacecafebeefULL);
+
+  // Obstacles: boxes and losses survive exactly.
+  f.scenario.radio.propagation = {};
+  f.scenario.radio.propagation.kind = radio::propagation_kind::obstacle_field;
+  f.scenario.radio.propagation.obstacles = {
+      {.box = {{1.5, 2.5}, {30.0, 40.0}}, .loss_db = 7.25},
+      {.box = {{-10.0, -20.0}, {-1.0, -2.0}}, .loss_db = 3.0},
+  };
+  parsed = parse_scenario_json(to_json(f));
+  EXPECT_EQ(parsed.scenario.radio.propagation.kind, radio::propagation_kind::obstacle_field);
+  ASSERT_EQ(parsed.scenario.radio.propagation.obstacles.size(), 2u);
+  EXPECT_EQ(parsed.scenario.radio.propagation.obstacles[0],
+            f.scenario.radio.propagation.obstacles[0]);
+  EXPECT_EQ(parsed.scenario.radio.propagation.obstacles[1],
+            f.scenario.radio.propagation.obstacles[1]);
+
+  // Isotropic is the default and is never written out.
+  f.scenario.radio.propagation = {};
+  EXPECT_EQ(to_json(f).find("propagation"), std::string::npos);
+  EXPECT_EQ(parse_scenario_json(to_json(f)).scenario.radio.propagation.kind,
+            radio::propagation_kind::isotropic);
+}
+
+/// Property/fuzz pass: a pseudo-random walk over the spec space. The
+/// invariant is idempotence at the JSON level — parse(to_json(x))
+/// serializes to the identical string — which catches any field that
+/// is written but not read, read but not written, or lossily encoded.
+TEST(ApiSerialize, RandomSpecsRoundTripIdempotently) {
+  std::mt19937_64 rng(20260729);
+  const auto pick_double = [&](double lo, double hi) {
+    return lo + (hi - lo) * static_cast<double>(rng() >> 11) * 0x1.0p-53;
+  };
+  for (int round = 0; round < 200; ++round) {
+    scenario_file f;
+    scenario_spec& s = f.scenario;
+    s.name = "fuzz_" + std::to_string(round);
+    s.deploy.kind = static_cast<deployment_kind>(rng() % 3);  // fixed handled elsewhere
+    s.deploy.nodes = 1 + rng() % 500;
+    s.deploy.region_side = pick_double(10.0, 5000.0);
+    s.deploy.clusters = 1 + rng() % 9;
+    s.deploy.cluster_sigma = pick_double(1.0, 400.0);
+    s.deploy.grid_jitter = pick_double(0.0, 1.0);
+    s.radio.path_loss_exponent = pick_double(1.0, 6.0);
+    s.radio.max_range = pick_double(10.0, 2000.0);
+    switch (rng() % 3) {
+      case 0:
+        break;  // isotropic
+      case 1:
+        s.radio.propagation = {.kind = radio::propagation_kind::lognormal_shadowing,
+                               .sigma_db = pick_double(0.0, 12.0),
+                               .clamp_db = pick_double(0.0, 20.0),
+                               .seed = rng()};
+        break;
+      default: {
+        s.radio.propagation.kind = radio::propagation_kind::obstacle_field;
+        const std::size_t count = 1 + rng() % 5;
+        for (std::size_t i = 0; i < count; ++i) {
+          const double x0 = pick_double(-100.0, 1000.0);
+          const double y0 = pick_double(-100.0, 1000.0);
+          s.radio.propagation.obstacles.push_back(
+              {.box = {{x0, y0}, {x0 + pick_double(0.0, 500.0), y0 + pick_double(0.0, 500.0)}},
+               .loss_db = pick_double(0.1, 30.0)});
+        }
+        break;
+      }
+    }
+    s.method = rng() % 2 == 0 ? method_spec::protocol()
+                              : method_spec::of_baseline(static_cast<baseline_kind>(rng() % 6));
+    s.cbtc.alpha = pick_double(0.1, 6.0);
+    s.cbtc.increase_factor = pick_double(1.1, 4.0);
+    s.cbtc.intra_threads = static_cast<unsigned>(rng() % 9);
+    s.base_seed = rng();
+    s.metrics.stretch = rng() % 2 == 0;
+    s.metrics.stretch_samples = rng() % 64;
+    if (rng() % 2 == 0) {
+      sim_spec dyn;
+      dyn.horizon = pick_double(1.0, 500.0);
+      dyn.settle = pick_double(0.0, 50.0);
+      dyn.mirror_agent_tables = rng() % 2 == 0;
+      dyn.mobility.kind = static_cast<mobility_kind>(rng() % 3);
+      dyn.mobility.max_speed = pick_double(0.0, 20.0);
+      dyn.failures.random_crashes = rng() % 10;
+      f.sim = dyn;
+    }
+
+    const std::string once = to_json(f);
+    const std::string twice = to_json(parse_scenario_json(once));
+    ASSERT_EQ(once, twice) << "round " << round;
+  }
+}
+
+TEST(ApiSerialize, MalformedPropagationFailsLoudly) {
+  // Unknown kind.
+  EXPECT_THROW(parse_scenario_json(
+                   R"({"scenario": {"radio": {"propagation": {"kind": "tachyonic"}}}})"),
+               std::invalid_argument);
+  // Unknown key inside the propagation object.
+  EXPECT_THROW(parse_scenario_json(
+                   R"({"scenario": {"radio": {"propagation": {"kind": "isotropic", "x": 1}}}})"),
+               std::invalid_argument);
+  // Wrong type for sigma_db.
+  EXPECT_THROW(
+      parse_scenario_json(
+          R"({"scenario": {"radio": {"propagation": {"kind": "shadowing", "sigma_db": "big"}}}})"),
+      std::invalid_argument);
+  // Shadowing-only keys on a foreign kind are rejected, not silently
+  // dropped (a stray sigma_db almost always means the kind is wrong).
+  EXPECT_THROW(
+      parse_scenario_json(
+          R"({"scenario": {"radio": {"propagation": {"kind": "isotropic", "sigma_db": 6}}}})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_scenario_json(
+          R"({"scenario": {"radio": {"propagation": {"kind": "obstacles", "seed": 3,
+              "obstacles": [{"box": [0, 0, 1, 1], "loss_db": 3}]}}}})"),
+      std::invalid_argument);
+  // Negative sigma / clamp.
+  EXPECT_THROW(
+      parse_scenario_json(
+          R"({"scenario": {"radio": {"propagation": {"kind": "shadowing", "sigma_db": -4}}}})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_scenario_json(
+          R"({"scenario": {"radio": {"propagation": {"kind": "shadowing", "clamp_db": -1}}}})"),
+      std::invalid_argument);
+  // Obstacles on a non-obstacle kind.
+  EXPECT_THROW(
+      parse_scenario_json(
+          R"({"scenario": {"radio": {"propagation": {"kind": "isotropic",
+              "obstacles": [{"box": [0, 0, 1, 1], "loss_db": 3}]}}}})"),
+      std::invalid_argument);
+  // Obstacle box with the wrong arity, inverted corners, bad loss.
+  EXPECT_THROW(
+      parse_scenario_json(
+          R"({"scenario": {"radio": {"propagation": {"kind": "obstacles",
+              "obstacles": [{"box": [0, 0, 1], "loss_db": 3}]}}}})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_scenario_json(
+          R"({"scenario": {"radio": {"propagation": {"kind": "obstacles",
+              "obstacles": [{"box": [5, 0, 1, 1], "loss_db": 3}]}}}})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_scenario_json(
+          R"({"scenario": {"radio": {"propagation": {"kind": "obstacles",
+              "obstacles": [{"box": [0, 0, 1, 1], "loss_db": 0}]}}}})"),
+      std::invalid_argument);
+  // Empty obstacle list for an obstacle field.
+  EXPECT_THROW(
+      parse_scenario_json(
+          R"({"scenario": {"radio": {"propagation": {"kind": "obstacles", "obstacles": []}}}})"),
+      std::invalid_argument);
+  // The short aliases parse.
+  EXPECT_EQ(parse_scenario_json(
+                R"({"scenario": {"radio": {"propagation": {"kind": "shadowing"}}}})")
+                .scenario.radio.propagation.kind,
+            radio::propagation_kind::lognormal_shadowing);
 }
 
 TEST(ApiSerialize, SaveAndLoadFile) {

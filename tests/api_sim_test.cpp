@@ -132,6 +132,54 @@ TEST(ApiSim, MirroredAgentTablesMatchFullCaptureBitwise) {
   }
 }
 
+/// The mirrored path now compares connectivity *in place* (adjacency
+/// views over closure_mirror + live_neighbor_index, no per-evaluation
+/// graph snapshots); the full-capture path still materializes
+/// snapshots. Their dynamic_reports must stay bitwise identical — also
+/// under non-uniform per-link gains, where the live index filters
+/// every candidate link.
+TEST(ApiSim, InPlaceMirrorConnectivityMatchesSnapshotPathUnderPropagation) {
+  scenario_spec spec = churn_scenario();
+  sim_spec dyn = churn_sim();
+  dyn.mobility = {.kind = mobility_kind::random_waypoint,
+                  .min_speed = 1.0,
+                  .max_speed = 4.0,
+                  .tick = 0.5,
+                  .start = 9.0};
+  const engine eng;
+
+  for (const bool shadowed : {false, true}) {
+    spec.radio.propagation =
+        shadowed ? propagation_spec{.kind = radio::propagation_kind::lognormal_shadowing,
+                                    .sigma_db = 3.0,
+                                    .clamp_db = 6.0}
+                 : propagation_spec{};
+    for (const std::uint64_t seed : {0ull, 1ull}) {
+      dyn.mirror_agent_tables = true;
+      const dynamic_report in_place = eng.run_dynamic(spec, dyn, seed);
+      dyn.mirror_agent_tables = false;
+      const dynamic_report snapshot = eng.run_dynamic(spec, dyn, seed);
+      SCOPED_TRACE(::testing::Message() << "shadowed=" << shadowed << " seed " << seed);
+
+      EXPECT_EQ(in_place.final_topology, snapshot.final_topology);
+      EXPECT_EQ(in_place.disruptions, snapshot.disruptions);
+      EXPECT_EQ(in_place.unrepaired, snapshot.unrepaired);
+      EXPECT_EQ(in_place.repair_latency_mean, snapshot.repair_latency_mean);  // bitwise
+      EXPECT_EQ(in_place.repair_latency_max, snapshot.repair_latency_max);
+      EXPECT_EQ(in_place.field_disruptions, snapshot.field_disruptions);
+      EXPECT_EQ(in_place.field_downtime, snapshot.field_downtime);
+      EXPECT_EQ(in_place.partitioned, snapshot.partitioned);
+      EXPECT_EQ(in_place.time_to_partition, snapshot.time_to_partition);
+      ASSERT_EQ(in_place.samples.size(), snapshot.samples.size());
+      for (std::size_t i = 0; i < in_place.samples.size(); ++i) {
+        EXPECT_EQ(in_place.samples[i].connectivity_ok, snapshot.samples[i].connectivity_ok)
+            << "sample " << i;
+        EXPECT_EQ(in_place.samples[i].edges, snapshot.samples[i].edges) << "sample " << i;
+      }
+    }
+  }
+}
+
 TEST(ApiSim, RunDynamicIsDeterministicPerSeed) {
   const scenario_spec spec = churn_scenario();
   const sim_spec dyn = churn_sim();

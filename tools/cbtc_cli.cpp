@@ -120,6 +120,8 @@ int usage() {
       "             nests via work-stealing, it never multiplies threads)\n"
       "            [--method oracle|protocol|mst|rng|gabriel|yao|knn|max-power]\n"
       "            [--alpha RAD] [--nodes N] [--region S] [--range R]\n"
+      "            [--propagation isotropic|shadowing|obstacles]\n"
+      "            [--shadow-sigma DB] [--shadow-clamp DB]\n"
       "            [--save FILE.json]  (write the resolved scenario, don't run)\n"
       "  sweep     --list           (show registered scenarios)\n"
       "  scenarios                  (list static and dynamic registries)\n";
@@ -353,6 +355,36 @@ int cmd_sweep(const cli_args& args) {
   }
   if (args.options.contains("range")) {
     spec.radio.max_range = args.num("range", spec.radio.max_range);
+  }
+  if (args.options.contains("propagation")) {
+    const std::string kind = args.get("propagation", "isotropic");
+    if (kind == "isotropic") {
+      spec.radio.propagation = {};
+    } else if (kind == "shadowing" || kind == "lognormal_shadowing") {
+      // Only the kind flips; sigma/clamp/seed already in the scenario
+      // (or the spec defaults) survive, with --shadow-* on top below.
+      spec.radio.propagation.kind = radio::propagation_kind::lognormal_shadowing;
+    } else if (kind == "obstacles" || kind == "obstacle_field") {
+      // Obstacle geometry comes from the scenario (registry preset or
+      // JSON file); the flag only re-selects the kind.
+      if (spec.radio.propagation.obstacles.empty()) {
+        throw usage_error("--propagation obstacles needs a scenario that defines obstacles "
+                          "(e.g. --scenario urban_obstacles or a JSON file)");
+      }
+      spec.radio.propagation.kind = radio::propagation_kind::obstacle_field;
+    } else {
+      throw usage_error("unknown propagation kind: " + kind +
+                        " (expected isotropic | shadowing | obstacles)");
+    }
+  }
+  if (spec.radio.propagation.kind == radio::propagation_kind::lognormal_shadowing) {
+    spec.radio.propagation.sigma_db =
+        args.num("shadow-sigma", spec.radio.propagation.sigma_db);
+    spec.radio.propagation.clamp_db =
+        args.num("shadow-clamp", spec.radio.propagation.clamp_db);
+  } else if (args.options.contains("shadow-sigma") || args.options.contains("shadow-clamp")) {
+    throw usage_error("--shadow-sigma/--shadow-clamp need shadowing propagation "
+                      "(pass --propagation shadowing or a shadowed scenario)");
   }
   if (args.options.contains("intra-threads")) {
     spec.cbtc.intra_threads =
