@@ -281,6 +281,42 @@ BENCHMARK(BM_DynamicTickIncrementalIndexShadowed)
     ->Arg(1000)->Arg(10000)
     ->Unit(benchmark::kMillisecond);
 
+/// Obstacle-field ticks: a gain-row miss costs one segment test per
+/// obstacle, so this row gates the per-node gain cache — steady-state
+/// ticks must re-filter mostly from cached rows (epoch-invalidated
+/// only around the mover) instead of re-walking the obstacle list for
+/// every candidate.
+radio::link_model obstacle_tick_link(std::int64_t nodes) {
+  const double side = density_side_for(nodes);
+  std::vector<radio::obstacle> walls;
+  for (int i = 0; i < 12; ++i) {
+    // A deterministic scatter of long thin walls across the field.
+    const double x = side * (0.08 + 0.077 * i);
+    const double y = side * (0.13 + 0.061 * (i * 5 % 11));
+    const bool horizontal = (i % 2) == 0;
+    walls.push_back({.box = {{x, y}, {x + (horizontal ? side * 0.18 : 8.0),
+                                      y + (horizontal ? 8.0 : side * 0.18)}},
+                     .loss_db = 6.0});
+  }
+  return {pm, radio::propagation_model::obstacle_field(std::move(walls))};
+}
+
+void BM_DynamicTickIncrementalIndexObstacles(benchmark::State& state) {
+  dynamic_tick::motion m(state.range(0));
+  graph::live_neighbor_index index(m.positions, obstacle_tick_link(state.range(0)));
+  for (auto _ : state) {
+    m.step();
+    for (std::size_t i = 0; i < m.positions.size(); ++i) {
+      index.move(static_cast<graph::node_id>(i), m.positions[i]);
+    }
+    benchmark::DoNotOptimize(index.num_edges());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DynamicTickIncrementalIndexObstacles)
+    ->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
 // -- dynamic runs: mirrored agent tables vs full table capture --------
 
 /// A churn + mobility workload whose connectivity is re-evaluated at

@@ -1,0 +1,104 @@
+// Multi-machine batch dispatch: splits a seed range's blocks across
+// cbtc_serve shards and merges the streamed partials.
+//
+// Determinism contract: the dispatcher produces results bitwise
+// identical to in-process engine::run_batch, independent of shard
+// count, block-to-shard assignment, timing, and shard failures. That
+// holds because (a) the batch decomposes into the engine's fixed seed
+// blocks, (b) every block partial crosses the wire exactly (see
+// api/wire.h), and (c) partials merge in block-index order — the same
+// merge the engine performs. Failures only move blocks between
+// shards; they never change what any block computes.
+//
+// Failure handling: one worker per endpoint claims contiguous runs of
+// pending blocks. A connection failure or frame timeout requeues the
+// run's unfinished blocks (bounded per-block retries, exponential
+// backoff per endpoint); duplicate partials — retried blocks that had
+// already landed, or a shard sending twice — are suppressed by block
+// id, first wins. An endpoint is abandoned after a row of consecutive
+// failures; dispatch fails only when a block exhausts its retries or
+// every endpoint is dead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/report.h"
+#include "api/scenario.h"
+#include "api/sim_spec.h"
+
+namespace cbtc::api {
+
+namespace wire {
+struct batch_request;
+}
+
+struct endpoint {
+  std::string host;
+  std::uint16_t port{0};
+};
+
+/// Parses "host:port" (throws std::invalid_argument).
+[[nodiscard]] endpoint parse_endpoint(const std::string& spec);
+
+/// Parses a comma-separated endpoint list: "hostA:1234,hostB:1234".
+[[nodiscard]] std::vector<endpoint> parse_endpoint_list(const std::string& csv);
+
+struct dispatch_config {
+  std::vector<endpoint> endpoints;
+  /// Engine threads on each shard (0 = the shard's own default).
+  unsigned shard_threads{0};
+  int connect_timeout_ms{5000};
+  /// Per-frame receive/send deadline — bounds how long a hung shard
+  /// can hold its blocks before they requeue elsewhere.
+  int io_timeout_ms{60000};
+  /// A block that failed (connection lost / timed out / shard error)
+  /// this many times fails the whole dispatch.
+  std::size_t max_block_retries{3};
+  /// Base of the per-endpoint exponential backoff after a failure.
+  int backoff_base_ms{50};
+  /// Consecutive failures before an endpoint is declared dead.
+  std::size_t max_endpoint_failures{3};
+  /// Blocks per request; 0 sizes requests so each endpoint gets ~4
+  /// (keeps shards busy while bounding requeue cost on failure).
+  std::uint64_t blocks_per_request{0};
+};
+
+/// Observability counters for one dispatch run.
+struct dispatch_stats {
+  std::uint64_t blocks{0};
+  std::uint64_t requests{0};
+  std::uint64_t requeued_blocks{0};
+  std::uint64_t duplicate_partials{0};
+  std::uint64_t connection_failures{0};
+  std::size_t dead_endpoints{0};
+};
+
+class shard_dispatcher {
+ public:
+  explicit shard_dispatcher(dispatch_config cfg);
+
+  /// Distributed equivalents of engine::run_batch — same aggregates,
+  /// bit for bit. Throw std::runtime_error when the batch cannot
+  /// complete (retries exhausted / every endpoint dead).
+  [[nodiscard]] batch_report run_batch(const scenario_spec& spec, seed_range seeds);
+  [[nodiscard]] dynamic_batch_report run_batch(const scenario_spec& spec, const sim_spec& sim,
+                                               seed_range seeds);
+  [[nodiscard]] lifetime_batch_report run_batch(const scenario_spec& spec,
+                                                const lifetime_spec& life, seed_range seeds);
+
+  /// Counters from the most recent run_batch.
+  [[nodiscard]] const dispatch_stats& stats() const { return stats_; }
+
+ private:
+  template <class Report>
+  Report dispatch(const wire::batch_request& base, seed_range seeds);
+
+  dispatch_config cfg_;
+  dispatch_stats stats_;
+};
+
+}  // namespace cbtc::api

@@ -1,7 +1,9 @@
 #include "api/engine.h"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "algo/augment.h"
@@ -35,42 +37,58 @@ graph::undirected_graph build_baseline(const method_spec& m,
   throw std::logic_error("engine: unknown baseline kind");
 }
 
-/// Seeds per streaming partial. Fixed — independent of the thread
-/// count — so the block structure, and hence the block-ordered merge,
-/// is bitwise identical no matter how many threads ran the batch.
-constexpr std::uint64_t seed_block = 16;
-
-/// Streams a seed range into `Batch` aggregates: threads claim whole
-/// seed blocks from the process-wide executor, fold each run into the
-/// block's partial as soon as it finishes (the report is dropped
-/// immediately — peak memory is one in-flight report per thread plus
-/// the partials), and the partials merge in block order at the end.
-/// The same executor serves any intra-instance parallelism inside
-/// run_one, so batch and intra threads compose instead of multiplying.
-template <class Batch, class RunOne>
-Batch stream_batch(seed_range seeds, unsigned num_threads, const RunOne& run_one) {
-  Batch total;
+/// Runs the seed blocks `blocks` of the batch over `seeds`: threads
+/// claim whole seed blocks from the process-wide executor, fold each
+/// run into the block's partial as soon as it finishes (the report is
+/// dropped immediately — peak memory is one in-flight report and one
+/// partial per thread), and hand every finished partial to `sink`
+/// (serialized by a mutex, in completion order). The same executor
+/// serves any intra-instance parallelism inside run_one, so batch and
+/// intra threads compose instead of multiplying.
+template <class Batch, class RunOne, class Sink>
+void stream_blocks(seed_range seeds, block_range blocks, unsigned num_threads,
+                   const RunOne& run_one, const Sink& sink) {
   const std::uint64_t n = seeds.count;
-  if (n == 0) return total;
-  const std::uint64_t blocks = (n + seed_block - 1) / seed_block;
-  std::vector<Batch> partials(static_cast<std::size_t>(blocks));
+  const std::uint64_t total_blocks = engine::num_batch_blocks(seeds);
+  if (blocks.first > total_blocks || blocks.count > total_blocks - blocks.first) {
+    throw std::out_of_range("engine: block range [" + std::to_string(blocks.first) + ", " +
+                            std::to_string(blocks.first + blocks.count) + ") exceeds the batch's " +
+                            std::to_string(total_blocks) + " seed blocks");
+  }
+  if (blocks.count == 0) return;
 
   const unsigned threads =
       std::clamp<unsigned>(util::resolve_threads(num_threads), 1,
-                           static_cast<unsigned>(std::min<std::uint64_t>(blocks, 1024)));
+                           static_cast<unsigned>(std::min<std::uint64_t>(blocks.count, 1024)));
   util::thread_pool pool(threads);
-  pool.parallel_for_chunks(static_cast<std::size_t>(blocks), 1,
-                           [&](std::size_t lo, std::size_t hi) {
-                             for (std::size_t b = lo; b < hi; ++b) {
-                               Batch& partial = partials[b];
-                               const std::uint64_t block = static_cast<std::uint64_t>(b);
-                               const std::uint64_t end = std::min(n, (block + 1) * seed_block);
-                               for (std::uint64_t i = block * seed_block; i < end; ++i) {
-                                 partial.accumulate(run_one(seeds.first + i));
-                               }
-                             }
-                           });
+  std::mutex sink_mu;
+  pool.parallel_for_chunks(
+      static_cast<std::size_t>(blocks.count), 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t b = lo; b < hi; ++b) {
+          const std::uint64_t block = blocks.first + static_cast<std::uint64_t>(b);
+          Batch partial;
+          const std::uint64_t end = std::min(n, (block + 1) * engine::batch_block_size);
+          for (std::uint64_t i = block * engine::batch_block_size; i < end; ++i) {
+            partial.accumulate(run_one(seeds.first + i));
+          }
+          const std::lock_guard<std::mutex> lock(sink_mu);
+          sink(block, partial);
+        }
+      });
+}
 
+/// Whole-batch reduction on top of stream_blocks: partials land in a
+/// per-block slot and merge in block-index order at the end, so the
+/// aggregate is bitwise independent of which thread finished when.
+template <class Batch, class RunOne>
+Batch stream_batch(seed_range seeds, unsigned num_threads, const RunOne& run_one) {
+  Batch total;
+  if (seeds.count == 0) return total;
+  std::vector<Batch> partials(static_cast<std::size_t>(engine::num_batch_blocks(seeds)));
+  stream_blocks<Batch>(seeds, {0, engine::num_batch_blocks(seeds)}, num_threads, run_one,
+                       [&](std::uint64_t block, const Batch& p) {
+                         partials[static_cast<std::size_t>(block)] = p;
+                       });
   for (const Batch& p : partials) total.merge(p);
   return total;
 }
@@ -247,6 +265,51 @@ dynamic_batch_report engine::run_batch(const scenario_spec& spec, const sim_spec
                                        seed_range seeds, unsigned num_threads) const {
   return stream_batch<dynamic_batch_report>(
       seeds, num_threads, [&](std::uint64_t seed) { return run_dynamic(spec, sim, seed); });
+}
+
+lifetime_batch_report engine::run_batch(const scenario_spec& spec, const lifetime_spec& life,
+                                        seed_range seeds, unsigned num_threads) const {
+  return stream_batch<lifetime_batch_report>(
+      seeds, num_threads, [&](std::uint64_t seed) { return run_lifetime(spec, life, seed); });
+}
+
+void engine::run_batch_blocks(
+    const scenario_spec& spec, seed_range seeds, block_range blocks, unsigned num_threads,
+    const std::function<void(std::uint64_t, const batch_report&)>& sink) const {
+  stream_blocks<batch_report>(seeds, blocks, num_threads,
+                              [&](std::uint64_t seed) { return run(spec, seed); }, sink);
+}
+
+void engine::run_batch_blocks(
+    const scenario_spec& spec, const sim_spec& sim, seed_range seeds, block_range blocks,
+    unsigned num_threads,
+    const std::function<void(std::uint64_t, const dynamic_batch_report&)>& sink) const {
+  stream_blocks<dynamic_batch_report>(
+      seeds, blocks, num_threads,
+      [&](std::uint64_t seed) { return run_dynamic(spec, sim, seed); }, sink);
+}
+
+void engine::run_batch_blocks(
+    const scenario_spec& spec, const lifetime_spec& life, seed_range seeds, block_range blocks,
+    unsigned num_threads,
+    const std::function<void(std::uint64_t, const lifetime_batch_report&)>& sink) const {
+  stream_blocks<lifetime_batch_report>(
+      seeds, blocks, num_threads,
+      [&](std::uint64_t seed) { return run_lifetime(spec, life, seed); }, sink);
+}
+
+void lifetime_batch_report::accumulate(const lifetime_report& r) {
+  ++runs;
+  first_death.add(r.first_death);
+  quarter_dead.add(r.quarter_dead);
+  field_partition.add(r.field_partition);
+}
+
+void lifetime_batch_report::merge(const lifetime_batch_report& other) {
+  runs += other.runs;
+  first_death.merge(other.first_death);
+  quarter_dead.merge(other.quarter_dead);
+  field_partition.merge(other.field_partition);
 }
 
 void batch_report::accumulate(const run_report& r) {

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "api/report.h"
@@ -39,8 +40,40 @@ struct lifetime_report {
   double field_partition{0.0};
 };
 
+/// Aggregate statistics over a batch of lifetime runs (same
+/// accumulate/merge contract as batch_report).
+struct lifetime_batch_report {
+  std::uint64_t runs{0};
+  exp::summary first_death;
+  exp::summary quarter_dead;
+  exp::summary field_partition;
+
+  void accumulate(const lifetime_report& r);
+  void merge(const lifetime_batch_report& other);
+};
+
+/// A contiguous range of seed-block indices within a batch (block `b`
+/// covers seeds `[first + b*batch_block_size, ...)` of the full seed
+/// range — indices are always relative to the whole batch, so a shard
+/// running a sub-range produces the same partials the full run would).
+struct block_range {
+  std::uint64_t first{0};
+  std::uint64_t count{0};
+};
+
 class engine {
  public:
+  /// Seeds per streaming partial. Fixed — independent of thread count,
+  /// shard count, and shard failures — so the block structure, and
+  /// hence the block-ordered merge, is bitwise identical no matter who
+  /// ran which block where.
+  static constexpr std::uint64_t batch_block_size = 16;
+
+  /// Number of seed blocks a batch over `seeds` decomposes into.
+  [[nodiscard]] static std::uint64_t num_batch_blocks(seed_range seeds) {
+    return (seeds.count + batch_block_size - 1) / batch_block_size;
+  }
+
   /// Runs instance `seed` of the scenario.
   [[nodiscard]] run_report run(const scenario_spec& spec, std::uint64_t seed) const;
 
@@ -72,6 +105,38 @@ class engine {
   /// round (beacons + routed flows) until the field partitions.
   [[nodiscard]] lifetime_report run_lifetime(const scenario_spec& spec, const lifetime_spec& life,
                                              std::uint64_t seed = 0) const;
+
+  /// Streaming multi-seed lifetime batch (same determinism and memory
+  /// guarantees as the static overload).
+  [[nodiscard]] lifetime_batch_report run_batch(const scenario_spec& spec,
+                                                const lifetime_spec& life, seed_range seeds,
+                                                unsigned num_threads = 0) const;
+
+  // ---- block-granular batch execution -------------------------------
+  //
+  // The building blocks `run_batch` is made of, exposed so a network
+  // shard can execute a sub-range of a batch's seed blocks and stream
+  // each finished partial out: the sink receives (block index, block
+  // partial) once per block, serialized by an internal mutex but in
+  // completion order — callers that need the batch aggregate must
+  // collect and merge partials in block-index order, which is exactly
+  // what `run_batch` and the shard dispatcher do. `blocks` indices are
+  // relative to the full `seeds` range; throws std::out_of_range when
+  // the range extends past num_batch_blocks(seeds).
+
+  void run_batch_blocks(const scenario_spec& spec, seed_range seeds, block_range blocks,
+                        unsigned num_threads,
+                        const std::function<void(std::uint64_t, const batch_report&)>& sink) const;
+
+  void run_batch_blocks(
+      const scenario_spec& spec, const sim_spec& sim, seed_range seeds, block_range blocks,
+      unsigned num_threads,
+      const std::function<void(std::uint64_t, const dynamic_batch_report&)>& sink) const;
+
+  void run_batch_blocks(
+      const scenario_spec& spec, const lifetime_spec& life, seed_range seeds, block_range blocks,
+      unsigned num_threads,
+      const std::function<void(std::uint64_t, const lifetime_batch_report&)>& sink) const;
 
  private:
   /// `run` with the instance's deployment and max-power graph handed

@@ -1,377 +1,27 @@
 #include "api/serialize.h"
 
-#include <charconv>
-#include <cmath>
-#include <cstdio>
 #include <fstream>
-#include <initializer_list>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
-#include <vector>
+
+#include "api/json.h"
+#include "api/serialize_detail.h"
 
 namespace cbtc::api {
+
+using json::check_keys;
+using json::get;
+using json::get_bool;
+using json::get_count;
+using json::get_num;
+using json::get_str;
+using json::get_u64;
+using json::jv;
+using json::require;
+
 namespace {
-
-// ---- a minimal JSON document model ---------------------------------
-// No external dependency: the grammar we need (objects, arrays,
-// numbers, strings, booleans) fits in a small recursive descent
-// parser, and a document tree keeps the writer and parser symmetric.
-
-struct jv {
-  enum class kind { null, boolean, number, string, array, object };
-
-  kind k{kind::null};
-  bool b{false};
-  double num{0.0};
-  std::string raw;  // number literal as written (exact u64 round-trip)
-  std::string str;
-  std::vector<jv> items;
-  std::vector<std::pair<std::string, jv>> fields;
-
-  static jv of(bool v) {
-    jv j;
-    j.k = kind::boolean;
-    j.b = v;
-    return j;
-  }
-  static jv of(double v) {
-    if (!std::isfinite(v)) {
-      // JSON has no inf/nan; writing one would produce a file the
-      // parser (and every other JSON tool) rejects.
-      throw std::invalid_argument("scenario JSON: cannot serialize non-finite number");
-    }
-    jv j;
-    j.k = kind::number;
-    j.num = v;
-    char buf[32];
-    const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
-    j.raw.assign(buf, end);
-    return j;
-  }
-  static jv of_u64(std::uint64_t v) {
-    jv j;
-    j.k = kind::number;
-    j.num = static_cast<double>(v);
-    j.raw = std::to_string(v);
-    return j;
-  }
-  static jv of(std::string v) {
-    jv j;
-    j.k = kind::string;
-    j.str = std::move(v);
-    return j;
-  }
-  // Without this, string literals would silently decay to the bool
-  // overload.
-  static jv of(const char* v) { return of(std::string(v)); }
-  static jv array() {
-    jv j;
-    j.k = kind::array;
-    return j;
-  }
-  static jv object() {
-    jv j;
-    j.k = kind::object;
-    return j;
-  }
-
-  jv& add(std::string key, jv value) {
-    fields.emplace_back(std::move(key), std::move(value));
-    return *this;
-  }
-};
-
-// ---- writer --------------------------------------------------------
-
-void write_string(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      case '\r': os << "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
-void write_value(std::ostream& os, const jv& v, int indent) {
-  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
-  const std::string inner(static_cast<std::size_t>(indent + 1) * 2, ' ');
-  switch (v.k) {
-    case jv::kind::null:
-      os << "null";
-      return;
-    case jv::kind::boolean:
-      os << (v.b ? "true" : "false");
-      return;
-    case jv::kind::number:
-      os << v.raw;
-      return;
-    case jv::kind::string:
-      write_string(os, v.str);
-      return;
-    case jv::kind::array: {
-      if (v.items.empty()) {
-        os << "[]";
-        return;
-      }
-      // Arrays of scalars stay on one line (position pairs, windows).
-      bool scalars = true;
-      for (const jv& e : v.items) {
-        if (e.k == jv::kind::object || e.k == jv::kind::array) scalars = false;
-      }
-      if (scalars) {
-        os << '[';
-        for (std::size_t i = 0; i < v.items.size(); ++i) {
-          if (i != 0) os << ", ";
-          write_value(os, v.items[i], indent);
-        }
-        os << ']';
-        return;
-      }
-      os << "[\n";
-      for (std::size_t i = 0; i < v.items.size(); ++i) {
-        os << inner;
-        write_value(os, v.items[i], indent + 1);
-        if (i + 1 != v.items.size()) os << ',';
-        os << '\n';
-      }
-      os << pad << ']';
-      return;
-    }
-    case jv::kind::object: {
-      if (v.fields.empty()) {
-        os << "{}";
-        return;
-      }
-      os << "{\n";
-      for (std::size_t i = 0; i < v.fields.size(); ++i) {
-        os << inner;
-        write_string(os, v.fields[i].first);
-        os << ": ";
-        write_value(os, v.fields[i].second, indent + 1);
-        if (i + 1 != v.fields.size()) os << ',';
-        os << '\n';
-      }
-      os << pad << '}';
-      return;
-    }
-  }
-}
-
-// ---- parser --------------------------------------------------------
-
-struct parser {
-  std::string_view s;
-  std::size_t pos{0};
-
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::invalid_argument("scenario JSON, offset " + std::to_string(pos) + ": " + what);
-  }
-
-  void skip_ws() {
-    while (pos < s.size() &&
-           (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' || s[pos] == '\r')) {
-      ++pos;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos >= s.size()) fail("unexpected end of input");
-    return s[pos];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "', got '" + s[pos] + "'");
-    ++pos;
-  }
-
-  bool consume(char c) {
-    if (pos < s.size() && peek() == c) {
-      ++pos;
-      return true;
-    }
-    return false;
-  }
-
-  bool literal(std::string_view word) {
-    if (s.substr(pos, word.size()) == word) {
-      pos += word.size();
-      return true;
-    }
-    return false;
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (pos < s.size() && s[pos] != '"') {
-      char c = s[pos++];
-      if (c == '\\') {
-        if (pos >= s.size()) fail("unterminated escape");
-        switch (s[pos++]) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          case 'r': c = '\r'; break;
-          default: fail("unsupported escape sequence");
-        }
-      }
-      out.push_back(c);
-    }
-    if (pos >= s.size()) fail("unterminated string");
-    ++pos;  // closing quote
-    return out;
-  }
-
-  jv parse_number() {
-    const std::size_t start = pos;
-    if (pos < s.size() && (s[pos] == '-' || s[pos] == '+')) ++pos;
-    while (pos < s.size() && (std::isdigit(static_cast<unsigned char>(s[pos])) != 0 ||
-                              s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' || s[pos] == '-' ||
-                              s[pos] == '+')) {
-      ++pos;
-    }
-    jv j;
-    j.k = jv::kind::number;
-    j.raw = std::string(s.substr(start, pos - start));
-    const auto [end, ec] =
-        std::from_chars(j.raw.data(), j.raw.data() + j.raw.size(), j.num);
-    if (ec != std::errc{} || end != j.raw.data() + j.raw.size()) {
-      pos = start;
-      fail("malformed number '" + j.raw + "'");
-    }
-    return j;
-  }
-
-  jv parse_value() {
-    const char c = peek();
-    if (c == '{') {
-      jv obj = jv::object();
-      ++pos;
-      if (consume('}')) return obj;
-      for (;;) {
-        skip_ws();
-        std::string key = parse_string();
-        expect(':');
-        obj.fields.emplace_back(std::move(key), parse_value());
-        if (consume(',')) continue;
-        expect('}');
-        return obj;
-      }
-    }
-    if (c == '[') {
-      jv arr = jv::array();
-      ++pos;
-      if (consume(']')) return arr;
-      for (;;) {
-        arr.items.push_back(parse_value());
-        if (consume(',')) continue;
-        expect(']');
-        return arr;
-      }
-    }
-    if (c == '"') return jv::of(parse_string());
-    if (c == 't') {
-      if (!literal("true")) fail("expected 'true'");
-      return jv::of(true);
-    }
-    if (c == 'f') {
-      if (!literal("false")) fail("expected 'false'");
-      return jv::of(false);
-    }
-    if (c == 'n') {
-      if (!literal("null")) fail("expected 'null'");
-      return jv{};
-    }
-    return parse_number();
-  }
-};
-
-// ---- object field access (strict: unknown keys are errors) ---------
-
-const jv* get(const jv& obj, std::string_view key) {
-  for (const auto& [k, v] : obj.fields) {
-    if (k == key) return &v;
-  }
-  return nullptr;
-}
-
-void check_keys(const jv& obj, const char* where,
-                std::initializer_list<std::string_view> allowed) {
-  for (const auto& [k, v] : obj.fields) {
-    bool known = false;
-    for (const std::string_view a : allowed) {
-      if (k == a) known = true;
-    }
-    if (!known) {
-      throw std::invalid_argument(std::string("scenario JSON: unknown key \"") + k + "\" in " +
-                                  where);
-    }
-  }
-}
-
-void require(bool cond, const std::string& what) {
-  if (!cond) throw std::invalid_argument("scenario JSON: " + what);
-}
-
-double get_num(const jv& obj, std::string_view key, double fallback) {
-  const jv* v = get(obj, key);
-  if (v == nullptr) return fallback;
-  require(v->k == jv::kind::number, std::string(key) + " must be a number");
-  return v->num;
-}
-
-std::uint64_t get_u64(const jv& obj, std::string_view key, std::uint64_t fallback) {
-  const jv* v = get(obj, key);
-  if (v == nullptr) return fallback;
-  require(v->k == jv::kind::number, std::string(key) + " must be a number");
-  std::uint64_t out = 0;
-  const auto [end, ec] = std::from_chars(v->raw.data(), v->raw.data() + v->raw.size(), out);
-  if (ec != std::errc{} || end != v->raw.data() + v->raw.size()) {
-    // Not a plain integer literal; accept other spellings of an exact
-    // non-negative integer (e.g. 1e3) but reject fractions like 2.5
-    // instead of silently truncating them.
-    require(v->num >= 0.0 && v->num == std::floor(v->num),
-            std::string(key) + " must be a non-negative integer");
-    out = static_cast<std::uint64_t>(v->num);
-  }
-  return out;
-}
-
-std::size_t get_count(const jv& obj, std::string_view key, std::size_t fallback) {
-  return static_cast<std::size_t>(get_u64(obj, key, fallback));
-}
-
-bool get_bool(const jv& obj, std::string_view key, bool fallback) {
-  const jv* v = get(obj, key);
-  if (v == nullptr) return fallback;
-  require(v->k == jv::kind::boolean, std::string(key) + " must be true or false");
-  return v->b;
-}
-
-std::string get_str(const jv& obj, std::string_view key, std::string fallback) {
-  const jv* v = get(obj, key);
-  if (v == nullptr) return fallback;
-  require(v->k == jv::kind::string, std::string(key) + " must be a string");
-  return v->str;
-}
 
 // ---- enum names ----------------------------------------------------
 
@@ -429,7 +79,7 @@ mobility_kind parse_mobility(const std::string& name) {
   throw std::invalid_argument("scenario JSON: unknown mobility kind '" + name + "'");
 }
 
-// ---- scenario_spec <-> jv ------------------------------------------
+// ---- scenario_spec components <-> jv -------------------------------
 
 jv deployment_to_jv(const deployment_spec& d) {
   jv o = jv::object();
@@ -575,6 +225,12 @@ method_spec method_from_jv(const jv& v) {
   return m;
 }
 
+}  // namespace
+
+// ---- full specs <-> jv (shared with the wire layer) -----------------
+
+namespace detail {
+
 jv scenario_to_jv(const scenario_spec& s) {
   jv o = jv::object();
   o.add("name", jv::of(s.name));
@@ -706,8 +362,6 @@ scenario_spec scenario_from_jv(const jv& o) {
   return s;
 }
 
-// ---- sim_spec <-> jv -----------------------------------------------
-
 jv sim_to_jv(const sim_spec& s) {
   jv o = jv::object();
   o.add("horizon", jv::of(s.horizon));
@@ -806,14 +460,31 @@ sim_spec sim_from_jv(const jv& o) {
   return s;
 }
 
-}  // namespace
+jv lifetime_to_jv(const lifetime_spec& s) {
+  jv o = jv::object();
+  o.add("battery_rounds", jv::of(s.battery_rounds));
+  o.add("flows", jv::of_u64(s.flows));
+  o.add("max_rounds", jv::of_u64(s.max_rounds));
+  return o;
+}
+
+lifetime_spec lifetime_from_jv(const jv& o) {
+  check_keys(o, "lifetime", {"battery_rounds", "flows", "max_rounds"});
+  lifetime_spec s;
+  s.battery_rounds = get_num(o, "battery_rounds", s.battery_rounds);
+  s.flows = get_count(o, "flows", s.flows);
+  s.max_rounds = get_count(o, "max_rounds", s.max_rounds);
+  return s;
+}
+
+}  // namespace detail
 
 std::string to_json(const scenario_file& file) {
   jv root = jv::object();
-  root.add("scenario", scenario_to_jv(file.scenario));
-  if (file.sim) root.add("sim", sim_to_jv(*file.sim));
+  root.add("scenario", detail::scenario_to_jv(file.scenario));
+  if (file.sim) root.add("sim", detail::sim_to_jv(*file.sim));
   std::ostringstream os;
-  write_value(os, root, 0);
+  json::write_value(os, root, 0);
   os << '\n';
   return os.str();
 }
@@ -823,26 +494,33 @@ std::string to_json(const scenario_spec& spec) {
 }
 
 scenario_file parse_scenario_json(std::string_view text) {
-  parser p{text};
-  const jv root = p.parse_value();
-  p.skip_ws();
-  if (p.pos != text.size()) p.fail("trailing content after the top-level value");
-  require(root.k == jv::kind::object, "top level must be an object");
+  try {
+    const jv root = json::parse_document(text);
+    require(root.k == jv::kind::object, "top level must be an object");
 
-  scenario_file out;
-  if (const jv* scenario = get(root, "scenario")) {
-    check_keys(root, "top level", {"scenario", "sim"});
-    require(scenario->k == jv::kind::object, "\"scenario\" must be an object");
-    out.scenario = scenario_from_jv(*scenario);
-    if (const jv* sim = get(root, "sim")) {
-      require(sim->k == jv::kind::object, "\"sim\" must be an object");
-      out.sim = sim_from_jv(*sim);
+    scenario_file out;
+    if (const jv* scenario = get(root, "scenario")) {
+      check_keys(root, "top level", {"scenario", "sim"});
+      require(scenario->k == jv::kind::object, "\"scenario\" must be an object");
+      out.scenario = detail::scenario_from_jv(*scenario);
+      if (const jv* sim = get(root, "sim")) {
+        require(sim->k == jv::kind::object, "\"sim\" must be an object");
+        out.sim = detail::sim_from_jv(*sim);
+      }
+    } else {
+      // Bare scenario object (no "scenario"/"sim" wrapper).
+      out.scenario = detail::scenario_from_jv(root);
     }
-  } else {
-    // Bare scenario object (no "scenario"/"sim" wrapper).
-    out.scenario = scenario_from_jv(root);
+    return out;
+  } catch (const std::invalid_argument& e) {
+    // The generic json layer prefixes "JSON:"; scenario-file consumers
+    // (and the CLI's documented error format) expect "scenario JSON:".
+    const std::string_view what = e.what();
+    if (what.rfind("JSON: ", 0) == 0) {
+      throw std::invalid_argument("scenario " + std::string(what));
+    }
+    throw;
   }
-  return out;
 }
 
 scenario_file load_scenario_file(const std::string& path) {

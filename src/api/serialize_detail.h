@@ -1,0 +1,25 @@
+// Spec <-> JSON-document converters shared between the scenario-file
+// layer (serialize.cpp) and the service wire format (wire.cpp).
+//
+// Internal header: the stable entry points are api/serialize.h and
+// api/wire.h; these converters are exposed only so the wire messages
+// embed scenarios with exactly the scenario-file schema (one parser,
+// one writer, one strictness policy).
+#pragma once
+
+#include "api/json.h"
+#include "api/scenario.h"
+#include "api/sim_spec.h"
+
+namespace cbtc::api::detail {
+
+[[nodiscard]] json::jv scenario_to_jv(const scenario_spec& s);
+[[nodiscard]] scenario_spec scenario_from_jv(const json::jv& o);
+
+[[nodiscard]] json::jv sim_to_jv(const sim_spec& s);
+[[nodiscard]] sim_spec sim_from_jv(const json::jv& o);
+
+[[nodiscard]] json::jv lifetime_to_jv(const lifetime_spec& s);
+[[nodiscard]] lifetime_spec lifetime_from_jv(const json::jv& o);
+
+}  // namespace cbtc::api::detail

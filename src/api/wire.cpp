@@ -1,0 +1,432 @@
+#include "api/wire.h"
+
+#include <charconv>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "api/serialize_detail.h"
+#include "exp/stats.h"
+
+namespace cbtc::api::wire {
+
+using json::check_keys;
+using json::get;
+using json::get_bool;
+using json::get_str;
+using json::get_u64;
+using json::jv;
+using json::require;
+
+namespace {
+
+std::string render(const jv& root) {
+  std::ostringstream os;
+  json::write_value(os, root, 0);
+  return os.str();
+}
+
+/// Exact u64 extraction from a jv number (prefers the literal
+/// spelling, same policy as json::get_u64).
+std::uint64_t u64_of(const jv& v, const char* what) {
+  require(v.k == jv::kind::number, std::string(what) + " must be a number");
+  std::uint64_t out = 0;
+  const auto [end, ec] = std::from_chars(v.raw.data(), v.raw.data() + v.raw.size(), out);
+  if (ec != std::errc{} || end != v.raw.data() + v.raw.size()) {
+    require(v.num >= 0.0 && v.num == std::floor(v.num),
+            std::string(what) + " must be a non-negative integer");
+    out = static_cast<std::uint64_t>(v.num);
+  }
+  return out;
+}
+
+// ---- exp::summary <-> [count, sum, sum_sq, min, max] ---------------
+
+jv summary_to_jv(const exp::summary& s) {
+  jv a = jv::array();
+  a.items.push_back(jv::of_u64(s.count()));
+  a.items.push_back(jv::of(s.sum()));
+  a.items.push_back(jv::of(s.sum_squares()));
+  a.items.push_back(jv::of(s.min()));
+  a.items.push_back(jv::of(s.max()));
+  return a;
+}
+
+exp::summary summary_from_jv(const jv& obj, std::string_view key) {
+  const jv* v = get(obj, key);
+  require(v != nullptr, std::string(key) + " is missing");
+  require(v->k == jv::kind::array && v->items.size() == 5,
+          std::string(key) + " must be a [count, sum, sum_sq, min, max] array");
+  for (const jv& e : v->items) {
+    require(e.k == jv::kind::number, std::string(key) + " entries must be numbers");
+  }
+  return exp::summary::from_raw(
+      static_cast<std::size_t>(u64_of(v->items[0], "summary count")), v->items[1].num,
+      v->items[2].num, v->items[3].num, v->items[4].num);
+}
+
+// ---- report payloads -----------------------------------------------
+
+jv report_to_jv(const batch_report& r) {
+  jv o = jv::object();
+  o.add("runs", jv::of_u64(r.runs));
+  o.add("connectivity_failures", jv::of_u64(r.connectivity_failures));
+  o.add("edges", summary_to_jv(r.edges));
+  o.add("degree", summary_to_jv(r.degree));
+  o.add("radius", summary_to_jv(r.radius));
+  o.add("max_radius", summary_to_jv(r.max_radius));
+  o.add("tx_power", summary_to_jv(r.tx_power));
+  o.add("boundary", summary_to_jv(r.boundary));
+  o.add("power_stretch", summary_to_jv(r.power_stretch));
+  o.add("power_stretch_max", summary_to_jv(r.power_stretch_max));
+  o.add("hop_stretch", summary_to_jv(r.hop_stretch));
+  o.add("hop_stretch_max", summary_to_jv(r.hop_stretch_max));
+  o.add("interference", summary_to_jv(r.interference));
+  o.add("cut_vertices", summary_to_jv(r.cut_vertices));
+  o.add("removed_edges", summary_to_jv(r.removed_edges));
+  o.add("has_protocol_stats", jv::of(r.has_protocol_stats));
+  o.add("messages", summary_to_jv(r.messages));
+  o.add("deliveries", summary_to_jv(r.deliveries));
+  o.add("tx_energy", summary_to_jv(r.tx_energy));
+  o.add("completion_time", summary_to_jv(r.completion_time));
+  return o;
+}
+
+batch_report report_from_jv(const jv& o) {
+  require(o.k == jv::kind::object, "report must be an object");
+  check_keys(o, "static report",
+             {"runs", "connectivity_failures", "edges", "degree", "radius", "max_radius",
+              "tx_power", "boundary", "power_stretch", "power_stretch_max", "hop_stretch",
+              "hop_stretch_max", "interference", "cut_vertices", "removed_edges",
+              "has_protocol_stats", "messages", "deliveries", "tx_energy", "completion_time"});
+  batch_report r;
+  r.runs = static_cast<std::size_t>(get_u64(o, "runs", 0));
+  r.connectivity_failures = static_cast<std::size_t>(get_u64(o, "connectivity_failures", 0));
+  r.edges = summary_from_jv(o, "edges");
+  r.degree = summary_from_jv(o, "degree");
+  r.radius = summary_from_jv(o, "radius");
+  r.max_radius = summary_from_jv(o, "max_radius");
+  r.tx_power = summary_from_jv(o, "tx_power");
+  r.boundary = summary_from_jv(o, "boundary");
+  r.power_stretch = summary_from_jv(o, "power_stretch");
+  r.power_stretch_max = summary_from_jv(o, "power_stretch_max");
+  r.hop_stretch = summary_from_jv(o, "hop_stretch");
+  r.hop_stretch_max = summary_from_jv(o, "hop_stretch_max");
+  r.interference = summary_from_jv(o, "interference");
+  r.cut_vertices = summary_from_jv(o, "cut_vertices");
+  r.removed_edges = summary_from_jv(o, "removed_edges");
+  r.has_protocol_stats = get_bool(o, "has_protocol_stats", false);
+  r.messages = summary_from_jv(o, "messages");
+  r.deliveries = summary_from_jv(o, "deliveries");
+  r.tx_energy = summary_from_jv(o, "tx_energy");
+  r.completion_time = summary_from_jv(o, "completion_time");
+  return r;
+}
+
+jv report_to_jv(const dynamic_batch_report& r) {
+  jv o = jv::object();
+  o.add("runs", jv::of_u64(r.runs));
+  o.add("initial_connectivity_failures", jv::of_u64(r.initial_connectivity_failures));
+  o.add("final_connectivity_failures", jv::of_u64(r.final_connectivity_failures));
+  o.add("partitioned_runs", jv::of_u64(r.partitioned_runs));
+  o.add("unrepaired_disruptions", jv::of_u64(r.unrepaired_disruptions));
+  o.add("broadcasts", summary_to_jv(r.broadcasts));
+  o.add("unicasts", summary_to_jv(r.unicasts));
+  o.add("deliveries", summary_to_jv(r.deliveries));
+  o.add("drops", summary_to_jv(r.drops));
+  o.add("tx_energy", summary_to_jv(r.tx_energy));
+  o.add("joins", summary_to_jv(r.joins));
+  o.add("leaves", summary_to_jv(r.leaves));
+  o.add("achanges", summary_to_jv(r.achanges));
+  o.add("regrows", summary_to_jv(r.regrows));
+  o.add("prunes", summary_to_jv(r.prunes));
+  o.add("beacons", summary_to_jv(r.beacons));
+  o.add("disruptions", summary_to_jv(r.disruptions));
+  o.add("repair_latency", summary_to_jv(r.repair_latency));
+  o.add("repair_latency_max", summary_to_jv(r.repair_latency_max));
+  o.add("field_disruptions", summary_to_jv(r.field_disruptions));
+  o.add("field_downtime", summary_to_jv(r.field_downtime));
+  o.add("time_to_partition", summary_to_jv(r.time_to_partition));
+  o.add("final_edges", summary_to_jv(r.final_edges));
+  o.add("final_degree", summary_to_jv(r.final_degree));
+  o.add("final_radius", summary_to_jv(r.final_radius));
+  o.add("live_nodes", summary_to_jv(r.live_nodes));
+  return o;
+}
+
+dynamic_batch_report dynamic_report_from_jv(const jv& o) {
+  require(o.k == jv::kind::object, "report must be an object");
+  check_keys(o, "dynamic report",
+             {"runs", "initial_connectivity_failures", "final_connectivity_failures",
+              "partitioned_runs", "unrepaired_disruptions", "broadcasts", "unicasts", "deliveries",
+              "drops", "tx_energy", "joins", "leaves", "achanges", "regrows", "prunes", "beacons",
+              "disruptions", "repair_latency", "repair_latency_max", "field_disruptions",
+              "field_downtime", "time_to_partition", "final_edges", "final_degree", "final_radius",
+              "live_nodes"});
+  dynamic_batch_report r;
+  r.runs = static_cast<std::size_t>(get_u64(o, "runs", 0));
+  r.initial_connectivity_failures =
+      static_cast<std::size_t>(get_u64(o, "initial_connectivity_failures", 0));
+  r.final_connectivity_failures =
+      static_cast<std::size_t>(get_u64(o, "final_connectivity_failures", 0));
+  r.partitioned_runs = static_cast<std::size_t>(get_u64(o, "partitioned_runs", 0));
+  r.unrepaired_disruptions = static_cast<std::size_t>(get_u64(o, "unrepaired_disruptions", 0));
+  r.broadcasts = summary_from_jv(o, "broadcasts");
+  r.unicasts = summary_from_jv(o, "unicasts");
+  r.deliveries = summary_from_jv(o, "deliveries");
+  r.drops = summary_from_jv(o, "drops");
+  r.tx_energy = summary_from_jv(o, "tx_energy");
+  r.joins = summary_from_jv(o, "joins");
+  r.leaves = summary_from_jv(o, "leaves");
+  r.achanges = summary_from_jv(o, "achanges");
+  r.regrows = summary_from_jv(o, "regrows");
+  r.prunes = summary_from_jv(o, "prunes");
+  r.beacons = summary_from_jv(o, "beacons");
+  r.disruptions = summary_from_jv(o, "disruptions");
+  r.repair_latency = summary_from_jv(o, "repair_latency");
+  r.repair_latency_max = summary_from_jv(o, "repair_latency_max");
+  r.field_disruptions = summary_from_jv(o, "field_disruptions");
+  r.field_downtime = summary_from_jv(o, "field_downtime");
+  r.time_to_partition = summary_from_jv(o, "time_to_partition");
+  r.final_edges = summary_from_jv(o, "final_edges");
+  r.final_degree = summary_from_jv(o, "final_degree");
+  r.final_radius = summary_from_jv(o, "final_radius");
+  r.live_nodes = summary_from_jv(o, "live_nodes");
+  return r;
+}
+
+jv report_to_jv(const lifetime_batch_report& r) {
+  jv o = jv::object();
+  o.add("runs", jv::of_u64(r.runs));
+  o.add("first_death", summary_to_jv(r.first_death));
+  o.add("quarter_dead", summary_to_jv(r.quarter_dead));
+  o.add("field_partition", summary_to_jv(r.field_partition));
+  return o;
+}
+
+lifetime_batch_report lifetime_report_from_jv(const jv& o) {
+  require(o.k == jv::kind::object, "report must be an object");
+  check_keys(o, "lifetime report", {"runs", "first_death", "quarter_dead", "field_partition"});
+  lifetime_batch_report r;
+  r.runs = get_u64(o, "runs", 0);
+  r.first_death = summary_from_jv(o, "first_death");
+  r.quarter_dead = summary_from_jv(o, "quarter_dead");
+  r.field_partition = summary_from_jv(o, "field_partition");
+  return r;
+}
+
+template <class Report>
+std::string encode_partial(std::uint64_t block, batch_mode mode, const Report& r) {
+  jv o = jv::object();
+  o.add("type", jv::of("block_partial"));
+  o.add("mode", jv::of(std::string(mode_name(mode))));
+  o.add("block", jv::of_u64(block));
+  o.add("report", report_to_jv(r));
+  return render(o);
+}
+
+/// Shared head of every block_partial decoder: checks the type and
+/// mode tags and returns (block index, report document).
+std::pair<std::uint64_t, const jv*> partial_head(const message& m, batch_mode expect) {
+  require(m.type == message_type::block_partial, "expected a block_partial message");
+  const jv& o = m.body;
+  check_keys(o, "block_partial", {"type", "mode", "block", "report"});
+  const batch_mode mode = parse_mode(get_str(o, "mode", ""));
+  require(mode == expect, std::string("block_partial mode '") + std::string(mode_name(mode)) +
+                              "' does not match the requested '" +
+                              std::string(mode_name(expect)) + "' batch");
+  const jv* rep = get(o, "report");
+  require(rep != nullptr, "block_partial.report is missing");
+  return {get_u64(o, "block", 0), rep};
+}
+
+}  // namespace
+
+std::string_view mode_name(batch_mode m) {
+  switch (m) {
+    case batch_mode::static_runs: return "static";
+    case batch_mode::dynamic_runs: return "dynamic";
+    case batch_mode::lifetime_runs: return "lifetime";
+  }
+  return "static";
+}
+
+batch_mode parse_mode(const std::string& name) {
+  if (name == "static") return batch_mode::static_runs;
+  if (name == "dynamic") return batch_mode::dynamic_runs;
+  if (name == "lifetime") return batch_mode::lifetime_runs;
+  throw std::invalid_argument("wire: unknown batch mode '" + name + "'");
+}
+
+// ---- encoders ------------------------------------------------------
+
+std::string encode_hello() {
+  jv o = jv::object();
+  o.add("type", jv::of("hello"));
+  o.add("protocol", jv::of(std::string(protocol_name)));
+  o.add("version", jv::of_u64(protocol_version));
+  return render(o);
+}
+
+std::string encode_batch_request(const batch_request& req) {
+  jv o = jv::object();
+  o.add("type", jv::of("batch_request"));
+  o.add("mode", jv::of(std::string(mode_name(req.mode))));
+  o.add("scenario", detail::scenario_to_jv(req.scenario));
+  if (req.mode == batch_mode::dynamic_runs) o.add("sim", detail::sim_to_jv(req.sim));
+  if (req.mode == batch_mode::lifetime_runs) {
+    o.add("lifetime", detail::lifetime_to_jv(req.lifetime));
+  }
+  {
+    jv seeds = jv::object();
+    seeds.add("first", jv::of_u64(req.seeds.first));
+    seeds.add("count", jv::of_u64(req.seeds.count));
+    o.add("seeds", std::move(seeds));
+  }
+  {
+    jv blocks = jv::object();
+    blocks.add("first", jv::of_u64(req.blocks.first));
+    blocks.add("count", jv::of_u64(req.blocks.count));
+    o.add("blocks", std::move(blocks));
+  }
+  o.add("threads", jv::of_u64(req.threads));
+  return render(o);
+}
+
+std::string encode_block_partial(std::uint64_t block, const batch_report& r) {
+  return encode_partial(block, batch_mode::static_runs, r);
+}
+
+std::string encode_block_partial(std::uint64_t block, const dynamic_batch_report& r) {
+  return encode_partial(block, batch_mode::dynamic_runs, r);
+}
+
+std::string encode_block_partial(std::uint64_t block, const lifetime_batch_report& r) {
+  return encode_partial(block, batch_mode::lifetime_runs, r);
+}
+
+std::string encode_done(std::uint64_t blocks_sent) {
+  jv o = jv::object();
+  o.add("type", jv::of("done"));
+  o.add("blocks", jv::of_u64(blocks_sent));
+  return render(o);
+}
+
+std::string encode_error(const std::string& what) {
+  jv o = jv::object();
+  o.add("type", jv::of("error"));
+  o.add("message", jv::of(what));
+  return render(o);
+}
+
+std::string encode_shutdown() {
+  jv o = jv::object();
+  o.add("type", jv::of("shutdown"));
+  return render(o);
+}
+
+// ---- decoders ------------------------------------------------------
+
+message decode_message(std::string_view frame) {
+  message m;
+  m.body = json::parse_document(frame);
+  require(m.body.k == jv::kind::object, "wire frame must be a JSON object");
+  const std::string type = get_str(m.body, "type", "");
+  if (type == "hello") {
+    m.type = message_type::hello;
+  } else if (type == "batch_request") {
+    m.type = message_type::batch_request;
+  } else if (type == "block_partial") {
+    m.type = message_type::block_partial;
+  } else if (type == "done") {
+    m.type = message_type::done;
+  } else if (type == "error") {
+    m.type = message_type::error;
+  } else if (type == "shutdown") {
+    m.type = message_type::shutdown;
+  } else {
+    throw std::invalid_argument("wire: unknown message type '" + type + "'");
+  }
+  return m;
+}
+
+void check_hello(const message& m) {
+  require(m.type == message_type::hello, "expected a hello handshake frame");
+  check_keys(m.body, "hello", {"type", "protocol", "version"});
+  const std::string proto = get_str(m.body, "protocol", "");
+  require(proto == protocol_name, "handshake protocol '" + proto + "' is not '" +
+                                      std::string(protocol_name) + "'");
+  const std::uint64_t version = get_u64(m.body, "version", 0);
+  if (version != protocol_version) {
+    throw std::invalid_argument("wire: protocol version mismatch: peer speaks v" +
+                                std::to_string(version) + ", this build speaks v" +
+                                std::to_string(protocol_version));
+  }
+}
+
+batch_request decode_batch_request(const message& m) {
+  require(m.type == message_type::batch_request, "expected a batch_request message");
+  const jv& o = m.body;
+  check_keys(o, "batch_request",
+             {"type", "mode", "scenario", "sim", "lifetime", "seeds", "blocks", "threads"});
+  batch_request req;
+  req.mode = parse_mode(get_str(o, "mode", ""));
+  const jv* scenario = get(o, "scenario");
+  require(scenario != nullptr && scenario->k == jv::kind::object,
+          "batch_request.scenario must be an object");
+  req.scenario = detail::scenario_from_jv(*scenario);
+  const jv* sim = get(o, "sim");
+  require((sim != nullptr) == (req.mode == batch_mode::dynamic_runs),
+          "batch_request.sim is required for dynamic mode and invalid otherwise");
+  if (sim != nullptr) req.sim = detail::sim_from_jv(*sim);
+  const jv* lifetime = get(o, "lifetime");
+  require((lifetime != nullptr) == (req.mode == batch_mode::lifetime_runs),
+          "batch_request.lifetime is required for lifetime mode and invalid otherwise");
+  if (lifetime != nullptr) req.lifetime = detail::lifetime_from_jv(*lifetime);
+
+  const auto range_of = [&o](const char* key, std::uint64_t& first, std::uint64_t& count) {
+    const jv* r = get(o, key);
+    require(r != nullptr && r->k == jv::kind::object,
+            std::string("batch_request.") + key + " must be a {first, count} object");
+    check_keys(*r, key, {"first", "count"});
+    first = get_u64(*r, "first", 0);
+    count = get_u64(*r, "count", 0);
+  };
+  range_of("seeds", req.seeds.first, req.seeds.count);
+  range_of("blocks", req.blocks.first, req.blocks.count);
+  req.threads = static_cast<unsigned>(get_u64(o, "threads", 0));
+  return req;
+}
+
+std::uint64_t decode_block_partial(const message& m, batch_report& out) {
+  const auto [block, rep] = partial_head(m, batch_mode::static_runs);
+  out = report_from_jv(*rep);
+  return block;
+}
+
+std::uint64_t decode_block_partial(const message& m, dynamic_batch_report& out) {
+  const auto [block, rep] = partial_head(m, batch_mode::dynamic_runs);
+  out = dynamic_report_from_jv(*rep);
+  return block;
+}
+
+std::uint64_t decode_block_partial(const message& m, lifetime_batch_report& out) {
+  const auto [block, rep] = partial_head(m, batch_mode::lifetime_runs);
+  out = lifetime_report_from_jv(*rep);
+  return block;
+}
+
+std::uint64_t decode_done(const message& m) {
+  require(m.type == message_type::done, "expected a done message");
+  check_keys(m.body, "done", {"type", "blocks"});
+  return get_u64(m.body, "blocks", 0);
+}
+
+std::string decode_error(const message& m) {
+  require(m.type == message_type::error, "expected an error message");
+  check_keys(m.body, "error", {"type", "message"});
+  return get_str(m.body, "message", "(no message)");
+}
+
+}  // namespace cbtc::api::wire

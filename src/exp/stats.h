@@ -23,6 +23,22 @@ class summary {
   /// Sample standard deviation (n-1 denominator); 0 for n < 2.
   [[nodiscard]] double stddev() const;
 
+  // Raw internals, exposed so an accumulator can cross a process
+  // boundary exactly: (n, sum, sum_sq, min, max) is the whole state,
+  // and shortest-round-trip doubles reproduce it bit for bit.
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double sum_squares() const { return sum_sq_; }
+  [[nodiscard]] static summary from_raw(std::size_t n, double sum, double sum_sq, double min,
+                                        double max) {
+    summary s;
+    s.n_ = n;
+    s.sum_ = sum;
+    s.sum_sq_ = sum_sq;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+  }
+
  private:
   std::size_t n_{0};
   double sum_{0.0};

@@ -23,6 +23,12 @@ live_neighbor_index::live_neighbor_index(std::span<const geom::vec2> positions,
       live_(positions.size(), true),
       live_count_(positions.size()),
       adj_(positions.size()) {
+  if (link_) {
+    position_dependent_gain_ =
+        link_->propagation().kind() == radio::propagation_kind::obstacle_field;
+    if (position_dependent_gain_) pos_epoch_.assign(positions_.size(), 0);
+    gain_rows_.resize(positions_.size());
+  }
   build();
 }
 
@@ -43,7 +49,42 @@ void live_neighbor_index::build() {
 void live_neighbor_index::filter_reachable(node_id u,
                                            std::vector<geom::point_index>& candidates) const {
   if (!link_) return;  // distance index: the query radius already decided
-  std::erase_if(candidates, [&](geom::point_index v) { return !link_closes(u, v); });
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<gain_entry>& row = gain_rows_[u];
+  row_scratch_.clear();
+  // Same one-ulp tolerance as link_model::reaches_at; the cached gain
+  // is the exact double gain() returned, so verdicts are bitwise-
+  // identical to the uncached filter.
+  const double budget = link_->max_power() * (1.0 + 1e-12);
+  std::size_t ri = 0;
+  std::size_t out = 0;
+  for (const geom::point_index v : candidates) {
+    ++gain_lookups_;
+    while (ri < row.size() && row[ri].v < v) ++ri;
+    double g;
+    if (ri < row.size() && row[ri].v == v &&
+        (!position_dependent_gain_ || row[ri].peer_epoch == pos_epoch_[v])) {
+      g = row[ri].gain;
+    } else {
+      ++gain_misses_;
+      g = link_->gain(u, v, positions_[u], positions_[v]);
+      const std::uint64_t epoch = position_dependent_gain_ ? pos_epoch_[v] : 0;
+      if (ri < row.size() && row[ri].v == v) {
+        row[ri] = {v, g, epoch};  // stale obstacle gain: refresh in place
+      } else {
+        row_scratch_.push_back({v, g, epoch});
+      }
+    }
+    const double d = geom::distance(positions_[u], positions_[v]);
+    if (link_->power().required_power(d) / g <= budget) candidates[out++] = v;
+  }
+  candidates.resize(out);
+  if (!row_scratch_.empty()) {
+    const std::size_t mid = row.size();
+    row.insert(row.end(), row_scratch_.begin(), row_scratch_.end());
+    std::inplace_merge(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(mid), row.end(),
+                       [](const gain_entry& a, const gain_entry& b) { return a.v < b.v; });
+  }
 }
 
 void live_neighbor_index::link(node_id u, node_id v) {
@@ -68,6 +109,12 @@ void live_neighbor_index::unlink(node_id u, node_id v) {
 
 void live_neighbor_index::move(node_id u, const geom::vec2& p) {
   positions_[u] = p;
+  if (position_dependent_gain_) {
+    // Every gain involving u changed: u's own row wholesale, entries
+    // for u in other rows lazily via the epoch check.
+    ++pos_epoch_[u];
+    gain_rows_[u].clear();
+  }
   // The medium keeps moving crashed nodes; they re-enter the index at
   // their restart position, so only the stored position updates here.
   if (!live_[u]) return;
@@ -110,6 +157,10 @@ void live_neighbor_index::erase(node_id u) {
 void live_neighbor_index::insert(node_id u, const geom::vec2& p) {
   if (live_[u]) return;
   positions_[u] = p;
+  if (position_dependent_gain_) {
+    ++pos_epoch_[u];
+    gain_rows_[u].clear();
+  }
   grid_.insert(u, p);
   live_[u] = true;
   ++live_count_;

@@ -88,22 +88,47 @@ class live_neighbor_index {
   using node_observer = std::function<void(node_id, bool)>;
   void set_node_observer(node_observer obs) { node_observer_ = std::move(obs); }
 
+  /// Gain-cache telemetry (always zero for distance indexes): every
+  /// per-link filter is one lookup; misses are the lookups that had to
+  /// evaluate the propagation model.
+  [[nodiscard]] std::uint64_t gain_lookups() const { return gain_lookups_; }
+  [[nodiscard]] std::uint64_t gain_misses() const { return gain_misses_; }
+
  private:
   /// Shared constructor body: populates the grid and links every
   /// reachable pair exactly once (query before insert).
   void build();
   void link(node_id u, node_id v);
   void unlink(node_id u, node_id v);
-  /// Per-link feasibility filter (always true for distance indexes —
-  /// the grid query radius already decided).
-  [[nodiscard]] bool link_closes(node_id u, node_id v) const {
-    return !link_ || link_->reaches(link_->max_power(), u, v, positions_[u], positions_[v]);
-  }
-  /// Drops grid candidates whose link does not close, in place.
+  /// Drops grid candidates whose link does not close, in place (no-op
+  /// for distance indexes — the grid query radius already decided).
+  /// Sorts `candidates` and merge-scans them against the node's gain
+  /// row, so hits cost a sequential L1 read instead of a hash probe
+  /// (point-lookup tables measured *slower* than recomputing a
+  /// shadowing gain — random probes miss CPU cache; the rows don't).
+  /// The cached gain then flows through arithmetic identical to
+  /// link_model::reaches_at, so verdicts match the uncached filter bit
+  /// for bit.
   void filter_reachable(node_id u, std::vector<geom::point_index>& candidates) const;
+
+  /// One cached link gain of the row's owner `u`: gain({u, v}) as
+  /// computed when `v`'s position epoch was `peer_epoch` (epochs only
+  /// engage for obstacle fields; shadowing gains are id-pure and never
+  /// stale — a move of `u` itself clears its whole row instead).
+  struct gain_entry {
+    node_id v;
+    double gain;
+    std::uint64_t peer_epoch;
+  };
 
   double max_range_;
   std::optional<radio::link_model> link_;  // engaged only for non-isotropic models
+  bool position_dependent_gain_{false};    // obstacle fields: gains move with nodes
+  mutable std::vector<std::vector<gain_entry>> gain_rows_;  // sorted by v; per query node
+  mutable std::vector<gain_entry> row_scratch_;
+  mutable std::uint64_t gain_lookups_{0};
+  mutable std::uint64_t gain_misses_{0};
+  std::vector<std::uint64_t> pos_epoch_;  // engaged only with position-dependent gains
   std::uint64_t version_{0};
   geom::dynamic_grid grid_;
   std::vector<geom::vec2> positions_;

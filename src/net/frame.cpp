@@ -1,0 +1,51 @@
+#include "net/frame.h"
+
+#include <array>
+#include <cstdint>
+
+namespace cbtc::net {
+namespace {
+
+std::array<unsigned char, 4> encode_length(std::size_t len) {
+  const auto n = static_cast<std::uint32_t>(len);
+  return {static_cast<unsigned char>(n >> 24), static_cast<unsigned char>(n >> 16),
+          static_cast<unsigned char>(n >> 8), static_cast<unsigned char>(n)};
+}
+
+}  // namespace
+
+std::string encode_frame(std::string_view payload) {
+  if (payload.size() > max_frame_bytes) {
+    throw net_error("frame payload of " + std::to_string(payload.size()) +
+                    " bytes exceeds the " + std::to_string(max_frame_bytes) + "-byte limit");
+  }
+  const auto prefix = encode_length(payload.size());
+  std::string out;
+  out.reserve(prefix.size() + payload.size());
+  out.append(reinterpret_cast<const char*>(prefix.data()), prefix.size());
+  out.append(payload);
+  return out;
+}
+
+void write_frame(tcp_stream& stream, std::string_view payload, int timeout_ms) {
+  const std::string bytes = encode_frame(payload);
+  stream.send_all(bytes.data(), bytes.size(), timeout_ms);
+}
+
+std::string read_frame(tcp_stream& stream, int timeout_ms) {
+  std::array<unsigned char, 4> prefix{};
+  stream.recv_all(prefix.data(), prefix.size(), timeout_ms);
+  const std::uint32_t len = (static_cast<std::uint32_t>(prefix[0]) << 24) |
+                            (static_cast<std::uint32_t>(prefix[1]) << 16) |
+                            (static_cast<std::uint32_t>(prefix[2]) << 8) |
+                            static_cast<std::uint32_t>(prefix[3]);
+  if (len > max_frame_bytes) {
+    throw net_error("incoming frame of " + std::to_string(len) + " bytes exceeds the " +
+                    std::to_string(max_frame_bytes) + "-byte limit");
+  }
+  std::string payload(len, '\0');
+  if (len > 0) stream.recv_all(payload.data(), payload.size(), timeout_ms);
+  return payload;
+}
+
+}  // namespace cbtc::net

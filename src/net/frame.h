@@ -1,0 +1,34 @@
+// Length-prefixed message framing over a tcp_stream.
+//
+// Every frame is a 4-byte big-endian payload length followed by the
+// payload (a JSON document at the layer above). The length bound
+// rejects corrupt or hostile prefixes before allocating anything; a
+// connection that dies mid-frame surfaces as net_error from the
+// stream layer, never as a half-parsed message.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "net/socket.h"
+
+namespace cbtc::net {
+
+/// Largest accepted payload. Generous for this protocol: the biggest
+/// legitimate frame is a batch_request embedding a fixed-position
+/// scenario (a few bytes per node).
+inline constexpr std::size_t max_frame_bytes = 16u << 20;
+
+/// Returns the wire bytes for one frame (prefix + payload). Throws
+/// net_error if the payload exceeds max_frame_bytes.
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Sends one frame within `timeout_ms`.
+void write_frame(tcp_stream& stream, std::string_view payload, int timeout_ms);
+
+/// Receives one frame within `timeout_ms`; throws net_error on an
+/// oversized prefix, EOF mid-frame, or timeout (timeout_error).
+[[nodiscard]] std::string read_frame(tcp_stream& stream, int timeout_ms);
+
+}  // namespace cbtc::net

@@ -1,0 +1,95 @@
+#include "net/service.h"
+
+#include <exception>
+#include <utility>
+
+#include "api/wire.h"
+#include "net/frame.h"
+
+namespace cbtc::net {
+namespace {
+
+/// Thrown by the partial sink to sever a fault-injected connection
+/// mid-batch (distinct from net_error so handle() knows not to
+/// attempt an error frame on a deliberately-killed connection).
+struct injected_drop {};
+
+}  // namespace
+
+scenario_server::scenario_server(serve_config cfg)
+    : cfg_(std::move(cfg)), listener_(cfg_.bind_address, cfg_.port) {}
+
+void scenario_server::run() {
+  while (!stop_.load()) {
+    // Short accept timeout so stop() is honored promptly.
+    std::optional<tcp_stream> conn = listener_.accept(200);
+    if (!conn) continue;
+    const bool inject =
+        cfg_.drop_after_partials > 0 && dropped_connections_ < cfg_.drop_connections;
+    handle(std::move(*conn), inject);
+    if (inject) ++dropped_connections_;
+  }
+}
+
+template <class Report, class RunBlocks>
+void scenario_server::stream_and_reply(tcp_stream& conn, bool inject_drop,
+                                       const RunBlocks& run_blocks) {
+  std::uint64_t sent = 0;
+  const auto sink = [&](std::uint64_t block, const Report& r) {
+    const std::string payload = api::wire::encode_block_partial(block, r);
+    write_frame(conn, payload, cfg_.io_timeout_ms);
+    if (cfg_.duplicate_partials) write_frame(conn, payload, cfg_.io_timeout_ms);
+    ++sent;
+    if (inject_drop && sent >= cfg_.drop_after_partials) throw injected_drop{};
+  };
+  run_blocks(sink);
+  write_frame(conn, api::wire::encode_done(sent), cfg_.io_timeout_ms);
+}
+
+void scenario_server::handle(tcp_stream conn, bool inject_drop) {
+  using namespace api;  // wire messages + spec types
+  try {
+    wire::check_hello(wire::decode_message(read_frame(conn, cfg_.io_timeout_ms)));
+    write_frame(conn, wire::encode_hello(), cfg_.io_timeout_ms);
+
+    const wire::message msg = wire::decode_message(read_frame(conn, cfg_.io_timeout_ms));
+    if (msg.type == wire::message_type::shutdown) {
+      stop_.store(true);
+      return;
+    }
+    const wire::batch_request req = wire::decode_batch_request(msg);
+    const unsigned threads = req.threads != 0 ? req.threads : cfg_.threads;
+    switch (req.mode) {
+      case wire::batch_mode::static_runs:
+        stream_and_reply<batch_report>(conn, inject_drop, [&](const auto& sink) {
+          engine_.run_batch_blocks(req.scenario, req.seeds, req.blocks, threads, sink);
+        });
+        break;
+      case wire::batch_mode::dynamic_runs:
+        stream_and_reply<dynamic_batch_report>(conn, inject_drop, [&](const auto& sink) {
+          engine_.run_batch_blocks(req.scenario, req.sim, req.seeds, req.blocks, threads, sink);
+        });
+        break;
+      case wire::batch_mode::lifetime_runs:
+        stream_and_reply<lifetime_batch_report>(conn, inject_drop, [&](const auto& sink) {
+          engine_.run_batch_blocks(req.scenario, req.lifetime, req.seeds, req.blocks, threads,
+                                   sink);
+        });
+        break;
+    }
+  } catch (const injected_drop&) {
+    // Deliberate mid-batch kill: drop the connection with no done and
+    // no error frame, exactly like a crashed shard.
+  } catch (const net_error&) {
+    // The peer vanished; nothing left to tell it.
+  } catch (const std::exception& e) {
+    // Request-level failure (bad request, engine error): report it if
+    // the connection still works, then drop.
+    try {
+      write_frame(conn, api::wire::encode_error(e.what()), cfg_.io_timeout_ms);
+    } catch (const net_error&) {
+    }
+  }
+}
+
+}  // namespace cbtc::net

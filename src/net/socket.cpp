@@ -1,0 +1,228 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace cbtc::net {
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw net_error(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    fail_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+/// Milliseconds left until `deadline`, clamped to >= 0.
+int remaining_ms(clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(deadline - clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+/// Polls `fd` for `events` until the deadline; throws timeout_error on
+/// expiry, net_error on poll failure.
+void wait_for(int fd, short events, clock::time_point deadline, const char* what) {
+  for (;;) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int ms = remaining_ms(deadline);
+    const int rc = ::poll(&p, 1, ms);
+    if (rc > 0) return;
+    if (rc == 0) throw timeout_error(std::string(what) + " timed out");
+    if (errno == EINTR) continue;
+    fail_errno(what);
+  }
+}
+
+}  // namespace
+
+tcp_stream& tcp_stream::operator=(tcp_stream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void tcp_stream::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+tcp_stream tcp_stream::connect(const std::string& host, std::uint16_t port, int timeout_ms) {
+  const auto deadline = clock::now() + std::chrono::milliseconds(timeout_ms);
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  if (const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res); rc != 0) {
+    throw net_error("resolve " + host + ": " + gai_strerror(rc));
+  }
+
+  std::string last_error = "no addresses for " + host;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    tcp_stream stream(fd);  // closes on any failure path below
+    set_nonblocking(fd);
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(res);
+      return stream;
+    }
+    if (errno != EINPROGRESS) {
+      last_error = std::string("connect ") + host + ":" + service + ": " + std::strerror(errno);
+      continue;
+    }
+    try {
+      wait_for(fd, POLLOUT, deadline, "connect");
+    } catch (const net_error& e) {
+      last_error = e.what();
+      continue;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      last_error =
+          std::string("connect ") + host + ":" + service + ": " + std::strerror(err != 0 ? err : errno);
+      continue;
+    }
+    ::freeaddrinfo(res);
+    return stream;
+  }
+  ::freeaddrinfo(res);
+  throw net_error(last_error);
+}
+
+void tcp_stream::send_all(const void* data, std::size_t len, int timeout_ms) {
+  if (fd_ < 0) throw net_error("send on a closed stream");
+  const auto deadline = clock::now() + std::chrono::milliseconds(timeout_ms);
+  const char* p = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      wait_for(fd_, POLLOUT, deadline, "send");
+      continue;
+    }
+    fail_errno("send");
+  }
+}
+
+void tcp_stream::recv_all(void* data, std::size_t len, int timeout_ms) {
+  if (fd_ < 0) throw net_error("recv on a closed stream");
+  const auto deadline = clock::now() + std::chrono::milliseconds(timeout_ms);
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd_, p + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) throw net_error("peer closed the connection");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      wait_for(fd_, POLLIN, deadline, "recv");
+      continue;
+    }
+    fail_errno("recv");
+  }
+}
+
+tcp_listener::tcp_listener(const std::string& bind_address, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) fail_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw net_error("bind address '" + bind_address + "' is not a numeric IPv4 address");
+  }
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    close();
+    throw net_error("bind " + bind_address + ":" + std::to_string(port) + ": " +
+                    std::strerror(err));
+  }
+  if (::listen(fd_, 16) < 0) {
+    const int err = errno;
+    close();
+    throw net_error(std::string("listen: ") + std::strerror(err));
+  }
+  set_nonblocking(fd_);
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const int err = errno;
+    close();
+    throw net_error(std::string("getsockname: ") + std::strerror(err));
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+void tcp_listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<tcp_stream> tcp_listener::accept(int timeout_ms) {
+  if (fd_ < 0) throw net_error("accept on a closed listener");
+  const auto deadline = clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      tcp_stream stream(fd);
+      set_nonblocking(fd);
+      return stream;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      try {
+        wait_for(fd_, POLLIN, deadline, "accept");
+      } catch (const timeout_error&) {
+        return std::nullopt;
+      }
+      continue;
+    }
+    fail_errno("accept");
+  }
+}
+
+}  // namespace cbtc::net

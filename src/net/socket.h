@@ -1,0 +1,93 @@
+// Minimal blocking TCP transport with explicit timeouts.
+//
+// The service layer needs exactly four operations — connect, accept,
+// send-everything, receive-exactly — each bounded by a deadline so a
+// hung peer surfaces as a timeout_error the dispatcher can retry,
+// never as a stuck thread. Implemented with plain POSIX sockets and
+// poll(): no event loop, no extra dependency; one blocking connection
+// per dispatcher worker is the intended concurrency model.
+//
+// Security: there is no authentication or encryption. Listeners must
+// only ever bind trusted-network interfaces (the tools default to
+// loopback).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace cbtc::net {
+
+/// Transport failure (connection refused / reset / EOF mid-message).
+class net_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A deadline expired. Subclass of net_error so "retry on any
+/// transport failure" catches both.
+class timeout_error : public net_error {
+ public:
+  using net_error::net_error;
+};
+
+/// One connected TCP stream (move-only; closes on destruction).
+class tcp_stream {
+ public:
+  tcp_stream() = default;
+  /// Adopts an already-connected file descriptor (listener side).
+  explicit tcp_stream(int fd) : fd_(fd) {}
+  ~tcp_stream() { close(); }
+
+  tcp_stream(tcp_stream&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  tcp_stream& operator=(tcp_stream&& other) noexcept;
+  tcp_stream(const tcp_stream&) = delete;
+  tcp_stream& operator=(const tcp_stream&) = delete;
+
+  /// Connects to host:port within `timeout_ms`. Numeric IPv4 addresses
+  /// and hostnames both resolve (getaddrinfo).
+  [[nodiscard]] static tcp_stream connect(const std::string& host, std::uint16_t port,
+                                          int timeout_ms);
+
+  /// Writes all `len` bytes or throws (timeout_error / net_error).
+  /// The deadline covers the whole write, not each chunk.
+  void send_all(const void* data, std::size_t len, int timeout_ms);
+
+  /// Reads exactly `len` bytes or throws; EOF mid-read is a net_error
+  /// ("peer closed the connection").
+  void recv_all(void* data, std::size_t len, int timeout_ms);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_{-1};
+};
+
+/// A listening TCP socket. Port 0 binds an ephemeral port; `port()`
+/// reports the actual one.
+class tcp_listener {
+ public:
+  tcp_listener(const std::string& bind_address, std::uint16_t port);
+  ~tcp_listener() { close(); }
+
+  tcp_listener(const tcp_listener&) = delete;
+  tcp_listener& operator=(const tcp_listener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Waits up to `timeout_ms` for a connection; nullopt on timeout so
+  /// an accept loop can poll a stop flag. Throws net_error once the
+  /// listener is closed (the idiomatic cross-thread shutdown signal).
+  [[nodiscard]] std::optional<tcp_stream> accept(int timeout_ms);
+
+  void close();
+
+ private:
+  int fd_{-1};
+  std::uint16_t port_{0};
+};
+
+}  // namespace cbtc::net

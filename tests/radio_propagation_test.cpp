@@ -325,6 +325,32 @@ TEST(Propagation, LiveIndexChurnMatchesFreshRebuildUnderObstacles) {
   churn_identity(radio::link_model(radio::power_model(2.0, 400.0), two_blocks()));
 }
 
+TEST(Propagation, GainCacheHitsDominateUnderJitter) {
+  // Shadowing gains are position-independent, so once a pair has been
+  // filtered its gain must come from the cache forever: under small
+  // per-tick jitter (mostly re-filtering known pairs) lookups grow a
+  // tick at a time while misses barely move.
+  const auto positions = random_field(150, 1000.0, 5);
+  const radio::link_model link(radio::power_model(2.0, 400.0), shadowing(11));
+  graph::live_neighbor_index index(positions, link);
+  EXPECT_GT(index.gain_lookups(), 0u);
+
+  std::mt19937_64 rng(17);
+  std::uniform_real_distribution<double> jitter(-5.0, 5.0);
+  std::vector<vec2> pos(positions.begin(), positions.end());
+  for (int tick = 0; tick < 10; ++tick) {
+    for (graph::node_id u = 0; u < pos.size(); ++u) {
+      pos[u] = {pos[u].x + jitter(rng), pos[u].y + jitter(rng)};
+      index.move(u, pos[u]);
+    }
+  }
+  EXPECT_GT(index.gain_lookups(), 2 * index.gain_misses());
+
+  // A distance index never consults the gain path at all.
+  const graph::live_neighbor_index plain(positions, 400.0);
+  EXPECT_EQ(plain.gain_lookups(), 0u);
+}
+
 TEST(Propagation, LiveIndexIsotropicCtorEquivalentToDistanceCtor) {
   const auto positions = random_field(200, 1500.0, 9);
   const radio::link_model link(radio::power_model(2.0, 450.0));

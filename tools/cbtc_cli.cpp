@@ -29,10 +29,12 @@
 
 #include "algo/alpha_search.h"
 #include "api/api.h"
+#include "api/dispatch.h"
 #include "exp/table.h"
 #include "geom/random_points.h"
 #include "graph/graph_io.h"
 #include "graph/position_io.h"
+#include "net/service.h"
 
 namespace {
 
@@ -124,6 +126,14 @@ int usage() {
       "            [--shadow-sigma DB] [--shadow-clamp DB]\n"
       "            [--save FILE.json]  (write the resolved scenario, don't run)\n"
       "  sweep     --list           (show registered scenarios)\n"
+      "  serve     [--port P] [--bind ADDR] [--threads T]\n"
+      "            (scenario shard daemon; trusted networks only — no auth.\n"
+      "             --port 0 picks an ephemeral port, printed on startup)\n"
+      "  dispatch  --endpoints host:port,host:port,...\n"
+      "            + the sweep scenario options; runs the sweep across the\n"
+      "            given cbtc_serve shards with results bitwise identical\n"
+      "            to the in-process sweep\n"
+      "            [--retries N] [--connect-timeout-ms N] [--io-timeout-ms N]\n"
       "  scenarios                  (list static and dynamic registries)\n";
   return 2;
 }
@@ -314,9 +324,14 @@ int cmd_scenarios() {
   return 0;
 }
 
-int cmd_sweep(const cli_args& args) {
-  if (args.has_flag("list")) return cmd_scenarios();
+/// Scenario + optional sim resolved from --scenario/--file plus the
+/// command-line overrides (shared by sweep and dispatch).
+struct sweep_setup {
+  api::scenario_spec spec;
+  std::optional<api::sim_spec> sim;
+};
 
+sweep_setup resolve_sweep(const cli_args& args) {
   std::optional<api::sim_spec> sim;
   api::scenario_spec spec;
   if (const std::string file = args.get("file", ""); !file.empty()) {
@@ -390,23 +405,19 @@ int cmd_sweep(const cli_args& args) {
     spec.cbtc.intra_threads =
         static_cast<unsigned>(args.count("intra-threads", spec.cbtc.intra_threads));
   }
+  return {std::move(spec), sim};
+}
 
-  if (const std::string save = args.get("save", ""); !save.empty()) {
-    api::save_scenario_file(save, {.scenario = spec, .sim = sim});
-    std::cout << "wrote scenario '" << spec.name << "' to " << save << "\n";
-    return 0;
-  }
+/// Seed range of a sweep/dispatch invocation (--first / --seeds).
+api::seed_range sweep_seeds(const cli_args& args) {
+  return {static_cast<std::uint64_t>(args.count("first", 0)),
+          static_cast<std::uint64_t>(args.count("seeds", 20))};
+}
 
-  const api::seed_range seeds{static_cast<std::uint64_t>(args.count("first", 0)),
-                              static_cast<std::uint64_t>(args.count("seeds", 20))};
-  const auto threads = static_cast<unsigned>(args.count("threads", 0));
-
-  const api::engine eng;
-  if (sim) {
-    return print_dynamic_sweep(spec, eng.run_batch(spec, *sim, seeds, threads), seeds);
-  }
-  const api::batch_report b = eng.run_batch(spec, seeds, threads);
-
+/// Prints a static sweep's aggregates and returns the process exit
+/// code. Shared by sweep and dispatch so their outputs diff clean.
+int print_static_sweep(const api::scenario_spec& spec, const api::batch_report& b,
+                       api::seed_range seeds) {
   std::cout << "scenario " << spec.name << " (" << api::method_name(spec.method) << "), seeds ["
             << seeds.first << ", " << seeds.first + seeds.count << "), " << b.runs << " runs\n\n";
 
@@ -438,6 +449,80 @@ int cmd_sweep(const cli_args& args) {
   return b.connectivity_failures == 0 ? 0 : 1;
 }
 
+int cmd_sweep(const cli_args& args) {
+  if (args.has_flag("list")) return cmd_scenarios();
+  auto [spec, sim] = resolve_sweep(args);
+
+  if (const std::string save = args.get("save", ""); !save.empty()) {
+    api::save_scenario_file(save, {.scenario = spec, .sim = sim});
+    std::cout << "wrote scenario '" << spec.name << "' to " << save << "\n";
+    return 0;
+  }
+
+  const api::seed_range seeds = sweep_seeds(args);
+  const auto threads = static_cast<unsigned>(args.count("threads", 0));
+
+  const api::engine eng;
+  if (sim) {
+    return print_dynamic_sweep(spec, eng.run_batch(spec, *sim, seeds, threads), seeds);
+  }
+  return print_static_sweep(spec, eng.run_batch(spec, seeds, threads), seeds);
+}
+
+int cmd_serve(const cli_args& args) {
+  net::serve_config cfg;
+  cfg.bind_address = args.get("bind", "127.0.0.1");
+  cfg.port = static_cast<std::uint16_t>(args.count("port", 0));
+  cfg.threads = static_cast<unsigned>(args.count("threads", 0));
+  net::scenario_server server(cfg);
+  // Machine-readable startup line (the smoke scripts scrape the port).
+  std::cout << "cbtc_serve listening on " << cfg.bind_address << ":" << server.port()
+            << std::endl;
+  server.run();
+  return 0;
+}
+
+int cmd_dispatch(const cli_args& args) {
+  const std::string endpoints = args.get("endpoints", "");
+  if (endpoints.empty()) {
+    throw usage_error("dispatch needs --endpoints host:port[,host:port...]");
+  }
+  auto [spec, sim] = resolve_sweep(args);
+
+  api::dispatch_config cfg;
+  try {
+    cfg.endpoints = api::parse_endpoint_list(endpoints);
+  } catch (const std::invalid_argument& e) {
+    throw usage_error(e.what());
+  }
+  cfg.shard_threads = static_cast<unsigned>(args.count("threads", 0));
+  cfg.max_block_retries = args.count("retries", cfg.max_block_retries);
+  cfg.connect_timeout_ms = static_cast<int>(
+      args.count("connect-timeout-ms", static_cast<std::size_t>(cfg.connect_timeout_ms)));
+  cfg.io_timeout_ms = static_cast<int>(
+      args.count("io-timeout-ms", static_cast<std::size_t>(cfg.io_timeout_ms)));
+
+  const api::seed_range seeds = sweep_seeds(args);
+  api::shard_dispatcher dispatcher(cfg);
+
+  // stdout carries exactly the sweep's report (so a dispatched run
+  // diffs clean against an in-process one); dispatch telemetry goes
+  // to stderr.
+  int rc = 0;
+  if (sim) {
+    rc = print_dynamic_sweep(spec, dispatcher.run_batch(spec, *sim, seeds), seeds);
+  } else {
+    rc = print_static_sweep(spec, dispatcher.run_batch(spec, seeds), seeds);
+  }
+  const api::dispatch_stats& st = dispatcher.stats();
+  std::cerr << "dispatch: " << st.blocks << " blocks over " << cfg.endpoints.size()
+            << " endpoints, " << st.requests << " requests, " << st.requeued_blocks
+            << " requeued, " << st.duplicate_partials << " duplicate partials, "
+            << st.connection_failures << " connection failures, " << st.dead_endpoints
+            << " dead endpoints\n";
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -448,6 +533,8 @@ int main(int argc, char** argv) {
     if (args.command == "analyze") return cmd_analyze(args);
     if (args.command == "compare") return cmd_compare(args);
     if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "dispatch") return cmd_dispatch(args);
     if (args.command == "scenarios") return cmd_scenarios();
   } catch (const usage_error& e) {
     std::cerr << "error: " << e.what() << "\n\n";

@@ -96,51 +96,59 @@ def main():
 
     default_tol = args.tolerance or float(baseline.get("default_tolerance", 4.0))
     failures = []
-    print(f"{'benchmark':55} {'baseline':>10} {'now':>10} {'ratio':>7} {'limit':>7}")
+    absolute_rows = 0
+    print(f"{'benchmark':62} {'baseline':>10} {'now':>10} {'ratio':>7} {'limit':>7}  status")
 
     for name, entry in baseline.get("benchmarks", {}).items():
+        absolute_rows += 1
         base_ns = float(entry["real_time_ns"])
         tol = args.tolerance or float(entry.get("tolerance", default_tol))
         if name not in run:
             failures.append(f"{name}: missing from the run (filter changed or bench dropped?)")
-            print(f"{name:55} {fmt_ns(base_ns):>10} {'MISSING':>10}")
+            print(f"{name:62} {fmt_ns(base_ns):>10} {'-':>10} {'-':>7} {tol:>6.2f}x  MISSING")
             continue
         ratio = run[name] / base_ns if base_ns > 0 else float("inf")
-        verdict = "" if ratio <= tol else "  <-- FAIL"
-        print(f"{name:55} {fmt_ns(base_ns):>10} {fmt_ns(run[name]):>10} "
-              f"{ratio:>6.2f}x {tol:>6.2f}x{verdict}")
+        status = "ok" if ratio <= tol else "FAIL"
+        print(f"{name:62} {fmt_ns(base_ns):>10} {fmt_ns(run[name]):>10} "
+              f"{ratio:>6.2f}x {tol:>6.2f}x  {status}")
         if ratio > tol:
-            failures.append(f"{name}: {fmt_ns(run[name])} vs baseline {fmt_ns(base_ns)} "
-                            f"({ratio:.2f}x > {tol:.2f}x)")
+            failures.append(f"{name}: measured {fmt_ns(run[name])} vs baseline {fmt_ns(base_ns)} "
+                            f"({ratio:.2f}x > {tol:.2f}x allowed)")
 
     ratios = baseline.get("ratios", [])
     if ratios:
-        print(f"\n{'ratio check (within this run)':55} {'value':>10} {'limit':>10}")
+        print(f"\n{'ratio check (within this run)':62} {'num':>10} {'den':>10} "
+              f"{'value':>7} {'limit':>7}  status")
     for r in ratios:
         num, den = r["num"], r["den"]
         if num not in run or den not in run:
-            failures.append(f"ratio {r['name']!r}: {num if num not in run else den} "
-                            f"missing from the run")
-            print(f"{r['name']:55} {'MISSING':>10}")
+            missing = num if num not in run else den
+            failures.append(f"ratio {r['name']!r}: {missing} missing from the run")
+            print(f"{r['name']:62} {'-':>10} {'-':>10} {'-':>7} "
+                  f"{float(r['max']):>6.2f}x  MISSING ({missing})")
             continue
         value = run[num] / run[den] if run[den] > 0 else float("inf")
-        verdict = "" if value <= float(r["max"]) else "  <-- FAIL"
-        print(f"{r['name']:55} {value:>9.2f}x {float(r['max']):>9.2f}x{verdict}")
+        status = "ok" if value <= float(r["max"]) else "FAIL"
+        print(f"{r['name']:62} {fmt_ns(run[num]):>10} {fmt_ns(run[den]):>10} "
+              f"{value:>6.2f}x {float(r['max']):>6.2f}x  {status}")
         if value > float(r["max"]):
-            failures.append(f"ratio {r['name']!r}: {value:.2f}x > {float(r['max']):.2f}x "
-                            f"({num} / {den})")
+            failures.append(f"ratio {r['name']!r}: {value:.2f}x > {float(r['max']):.2f}x allowed "
+                            f"[{num} = {fmt_ns(run[num])}, {den} = {fmt_ns(run[den])}]")
 
     extra = sorted(set(run) - set(baseline.get("benchmarks", {})))
     if extra:
         print(f"\nnote: {len(extra)} benchmark(s) in the run but not in the baseline: "
               + ", ".join(extra))
 
+    checked = absolute_rows + len(ratios)
     if failures:
-        print("\nPERF REGRESSION GATE FAILED:", file=sys.stderr)
+        print(f"\nperf gate: {len(failures)} of {checked} checks FAILED "
+              f"({absolute_rows} absolute, {len(ratios)} ratio):", file=sys.stderr)
         for f_ in failures:
             print(f"  - {f_}", file=sys.stderr)
         return 1
-    print("\nperf gate: all checks passed")
+    print(f"\nperf gate: all {checked} checks passed "
+          f"({absolute_rows} absolute, {len(ratios)} ratio)")
     return 0
 
 
