@@ -21,9 +21,11 @@
 #include "api/api.h"
 #include "geom/random_points.h"
 #include "geom/spatial_grid.h"
+#include "graph/digraph.h"
 #include "graph/euclidean.h"
 #include "graph/live_index.h"
 #include "radio/propagation.h"
+#include "util/parallel.h"
 
 namespace {
 
@@ -193,6 +195,63 @@ void BM_EngineOracleIntraThreads(benchmark::State& state) {
 BENCHMARK(BM_EngineOracleIntraThreads)
     ->ArgsProduct({{10000}, {1, 4}})
     ->Unit(benchmark::kMillisecond);
+
+// -- million-node static pipeline -------------------------------------
+
+/// The growth-construction gate: one full oracle engine run at the
+/// paper's density on a hardware-width pool. At these sizes the flat
+/// CSR topology, the Morton relabeling pass (on by default above
+/// relabel_min_nodes), and the parallel scatter passes all engage —
+/// this is the configuration the million-node acceptance row times.
+/// One iteration per measurement: the 1M row is seconds-scale, and the
+/// machine-independent gate is the 1M/100k *ratio*, not the absolute.
+void BM_Growth(benchmark::State& state) {
+  api::scenario_spec spec = scaling_spec(state.range(0));
+  spec.cbtc.intra_threads = 0;  // hardware width
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.run(spec));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Growth)->Arg(100000)->Arg(1000000)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+/// An asymmetric ~100k-node digraph for the closure rows: max-power
+/// adjacency with a deterministic third of the arcs dropped, so the
+/// in-neighbor scatter has real work (union of out- and in-lists).
+graph::digraph closure_instance(std::int64_t nodes) {
+  const auto positions = make_positions(nodes);
+  util::thread_pool pool(0);
+  const graph::undirected_graph gr = graph::build_max_power_graph(positions, pm.max_range(), pool);
+  std::vector<std::vector<graph::node_id>> out(gr.num_nodes());
+  for (graph::node_id u = 0; u < gr.num_nodes(); ++u) {
+    for (const graph::node_id v : gr.neighbors(u)) {
+      if ((u + 2u * v) % 3u != 0u) out[u].push_back(v);
+    }
+  }
+  return graph::digraph::from_adjacency(std::move(out));
+}
+
+/// Serial baseline vs the two-pass parallel count/fill scatter for the
+/// in-neighbor build inside symmetric_closure. The parallel/serial
+/// ratio is the bench gate: the scatter rewrite must never regress
+/// below the serial path (ratio stays near or under 1 even on
+/// single-core runners, well under on multi-core ones).
+void BM_SymmetricClosureSerial(benchmark::State& state) {
+  const graph::digraph d = closure_instance(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.symmetric_closure());
+  }
+}
+BENCHMARK(BM_SymmetricClosureSerial)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_SymmetricClosureParallel(benchmark::State& state) {
+  const graph::digraph d = closure_instance(state.range(0));
+  util::thread_pool pool(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.symmetric_closure(pool));
+  }
+}
+BENCHMARK(BM_SymmetricClosureParallel)->Arg(100000)->Unit(benchmark::kMillisecond);
 
 // -- dynamic sampling: per-tick full rebuild vs incremental index -----
 

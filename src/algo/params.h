@@ -1,6 +1,8 @@
 // Parameters of the basic CBTC(alpha) algorithm (Figure 1 of the paper).
 #pragma once
 
+#include <cstddef>
+
 #include "geom/angle.h"
 
 namespace cbtc::algo {
@@ -41,6 +43,18 @@ struct cbtc_params {
   /// growth is per-node independent and reductions merge fixed-size
   /// blocks in block order.
   unsigned intra_threads{1};
+
+  /// Minimum instance size at which the engine relabels nodes into
+  /// spatial (Morton) order before running the oracle pipeline — so at
+  /// scale spatial neighbors are cache neighbors — and inverts the
+  /// permutation before the report is assembled (geom/spatial_order.h,
+  /// api/engine.cpp). On deployments without exact distance ties (any
+  /// random field) reports are bitwise-identical with the pass on or
+  /// off at every thread count; analytic gadgets with coincident
+  /// distances may resolve ties by the permuted ids, which is why this
+  /// defaults to a threshold no preset reaches instead of "always".
+  /// 0 = relabel every instance (tests force this).
+  std::size_t relabel_min_nodes{65536};
 };
 
 /// Canonical alpha values studied in the paper.

@@ -8,6 +8,7 @@
 
 #include "algo/augment.h"
 #include "baselines/baselines.h"
+#include "geom/spatial_order.h"
 #include "graph/euclidean.h"
 #include "graph/interference.h"
 #include "graph/metrics.h"
@@ -35,6 +36,71 @@ graph::undirected_graph build_baseline(const method_spec& m,
       return max_power_graph;
   }
   throw std::logic_error("engine: unknown baseline kind");
+}
+
+/// The graph `g` (over permuted labels) mapped back to original labels:
+/// node perm[k] of the result owns node k's neighbors, each mapped
+/// through perm and re-sorted. Assembled as flat CSR in parallel slots.
+graph::undirected_graph relabel_graph(const graph::undirected_graph& g,
+                                      std::span<const std::uint32_t> perm,
+                                      util::thread_pool& pool) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::size_t> off(n + 1, 0);
+  {
+    std::vector<std::size_t> deg(n);
+    pool.parallel_for(n, [&](std::size_t k) { deg[perm[k]] = g.degree(static_cast<graph::node_id>(k)); });
+    for (std::size_t u = 0; u < n; ++u) off[u + 1] = off[u] + deg[u];
+  }
+  std::vector<graph::node_id> flat(off[n]);
+  pool.parallel_for(n, [&](std::size_t k) {
+    const std::size_t u = perm[k];
+    std::size_t w = off[u];
+    for (const graph::node_id v : g.neighbors(static_cast<graph::node_id>(k))) flat[w++] = perm[v];
+    std::sort(flat.begin() + static_cast<std::ptrdiff_t>(off[u]),
+              flat.begin() + static_cast<std::ptrdiff_t>(off[u + 1]));
+  });
+  return graph::undirected_graph::from_csr(std::move(off), std::move(flat));
+}
+
+/// Oracle pipeline under a spatial relabeling: nodes are permuted into
+/// Morton order (spatial neighbors become cache neighbors for the
+/// growth loop and the scatter passes), the pipeline runs in permuted
+/// label space, and the result — topology and growth records — is
+/// mapped back to original labels before anything downstream (metrics,
+/// invariants, reports) sees it. Shadowing gains hash node ids, so the
+/// permuted run consults the original ids via link_model::relabeled.
+algo::topology_result relabeled_build(std::span<const geom::vec2> positions,
+                                      const radio::link_model& link,
+                                      const algo::cbtc_params& params,
+                                      const algo::optimization_set& opts,
+                                      util::thread_pool& pool) {
+  const std::size_t n = positions.size();
+  const double cell = link.max_range();
+  const std::vector<std::uint32_t> perm = geom::spatial_order(positions, cell);
+  std::vector<geom::vec2> rpos(n);
+  for (std::size_t k = 0; k < n; ++k) rpos[k] = positions[perm[k]];
+
+  algo::topology_result t = algo::build_topology(
+      rpos, link.relabeled(std::vector<std::uint32_t>(perm)), params, opts);
+
+  t.topology = relabel_graph(t.topology, perm, pool);
+  algo::cbtc_result growth;
+  growth.params = t.growth.params;
+  growth.nodes.resize(n);
+  pool.parallel_for(n, [&](std::size_t k) {
+    algo::node_result nr = std::move(t.growth.nodes[k]);
+    for (algo::neighbor_record& rec : nr.neighbors) rec.id = perm[rec.id];
+    // Restore the canonical (distance, id) neighbor order — a strict
+    // total order (ids are unique), so this is exactly the order the
+    // non-relabeled run produces whenever the neighbor sets match.
+    std::sort(nr.neighbors.begin(), nr.neighbors.end(),
+              [](const algo::neighbor_record& a, const algo::neighbor_record& b) {
+                return a.distance != b.distance ? a.distance < b.distance : a.id < b.id;
+              });
+    growth.nodes[perm[k]] = std::move(nr);
+  });
+  t.growth = std::move(growth);
+  return t;
 }
 
 /// Runs the seed blocks `blocks` of the batch over `seeds`: threads
@@ -111,7 +177,8 @@ run_report engine::run_internal(const scenario_spec& spec, std::uint64_t seed,
   r.seed = seed;
   r.nodes = positions.size();
 
-  graph::undirected_graph gr = graph::build_max_power_graph(positions, link);
+  util::thread_pool pool(spec.cbtc.intra_threads);
+  graph::undirected_graph gr = graph::build_max_power_graph(positions, link, pool);
   r.max_power_edges = gr.num_edges();
 
   const auto adopt = [&r](algo::topology_result t) {
@@ -123,7 +190,12 @@ run_report engine::run_internal(const scenario_spec& spec, std::uint64_t seed,
   };
   switch (spec.method.k) {
     case method_spec::kind::oracle:
-      adopt(algo::build_topology(positions, link, spec.cbtc, spec.opts));
+      if (positions.size() >= spec.cbtc.relabel_min_nodes && positions.size() > 1 &&
+          link.max_range() > 0.0) {
+        adopt(relabeled_build(positions, link, spec.cbtc, spec.opts, pool));
+      } else {
+        adopt(algo::build_topology(positions, link, spec.cbtc, spec.opts));
+      }
       break;
     case method_spec::kind::protocol: {
       proto::protocol_run_config cfg = spec.protocol;
@@ -157,7 +229,6 @@ run_report engine::run_internal(const scenario_spec& spec, std::uint64_t seed,
 
   const bool nominal_max_power = spec.method.k == method_spec::kind::baseline &&
                                  spec.method.baseline == baseline_kind::max_power;
-  util::thread_pool pool(spec.cbtc.intra_threads);
   r.node_powers.resize(r.nodes);
   if (nominal_max_power) {
     // No topology control: every node transmits at maximum power, so

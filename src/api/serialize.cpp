@@ -253,6 +253,7 @@ jv scenario_to_jv(const scenario_spec& s) {
     cbtc.add("initial_power", jv::of(s.cbtc.initial_power));
     cbtc.add("increase_factor", jv::of(s.cbtc.increase_factor));
     cbtc.add("intra_threads", jv::of_u64(s.cbtc.intra_threads));
+    cbtc.add("relabel_min_nodes", jv::of_u64(s.cbtc.relabel_min_nodes));
     o.add("cbtc", std::move(cbtc));
   }
   {
@@ -309,7 +310,8 @@ scenario_spec scenario_from_jv(const jv& o) {
   }
   if (const jv* m = get(o, "method")) s.method = method_from_jv(*m);
   if (const jv* c = get(o, "cbtc")) {
-    check_keys(*c, "cbtc", {"alpha", "mode", "initial_power", "increase_factor", "intra_threads"});
+    check_keys(*c, "cbtc", {"alpha", "mode", "initial_power", "increase_factor", "intra_threads",
+                            "relabel_min_nodes"});
     s.cbtc.alpha = get_num(*c, "alpha", s.cbtc.alpha);
     const std::string mode = get_str(*c, "mode", "discrete");
     require(mode == "discrete" || mode == "continuous",
@@ -320,6 +322,7 @@ scenario_spec scenario_from_jv(const jv& o) {
     s.cbtc.increase_factor = get_num(*c, "increase_factor", s.cbtc.increase_factor);
     s.cbtc.intra_threads =
         static_cast<unsigned>(get_u64(*c, "intra_threads", s.cbtc.intra_threads));
+    s.cbtc.relabel_min_nodes = get_count(*c, "relabel_min_nodes", s.cbtc.relabel_min_nodes);
   }
   if (const jv* opt = get(o, "optimizations")) {
     check_keys(*opt, "optimizations", {"shrink_back", "asymmetric_removal", "pairwise_removal"});

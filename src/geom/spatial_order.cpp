@@ -1,0 +1,52 @@
+#include "geom/spatial_order.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace cbtc::geom {
+
+namespace {
+
+/// Spreads the 32 bits of `x` into the even bit positions of a 64-bit
+/// word (the standard Morton interleave expansion).
+std::uint64_t spread_bits(std::uint64_t v) {
+  v &= 0xFFFFFFFFULL;
+  v = (v | (v << 16)) & 0x0000FFFF0000FFFFULL;
+  v = (v | (v << 8)) & 0x00FF00FF00FF00FFULL;
+  v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  v = (v | (v << 2)) & 0x3333333333333333ULL;
+  v = (v | (v << 1)) & 0x5555555555555555ULL;
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> spatial_order(std::span<const vec2> positions, double cell) {
+  const std::size_t n = positions.size();
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0U);
+  if (n == 0 || !(cell > 0.0)) return perm;
+
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  for (const vec2& p : positions) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+  }
+  constexpr double max_cell = 4294967295.0;  // 32 bits per axis
+  std::vector<std::uint64_t> key(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cx = std::clamp(std::floor((positions[i].x - min_x) / cell), 0.0, max_cell);
+    const double cy = std::clamp(std::floor((positions[i].y - min_y) / cell), 0.0, max_cell);
+    key[i] = spread_bits(static_cast<std::uint64_t>(cx)) |
+             (spread_bits(static_cast<std::uint64_t>(cy)) << 1);
+  }
+  std::sort(perm.begin(), perm.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return key[a] != key[b] ? key[a] < key[b] : a < b;
+  });
+  return perm;
+}
+
+}  // namespace cbtc::geom

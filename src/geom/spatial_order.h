@@ -1,0 +1,32 @@
+// Spatial (Morton / Z-order) node ordering.
+//
+// At large n the static pipeline is memory-bound: the growth loop and
+// the scatter passes walk nodes in id order, so two ids that are
+// neighbors in space can live megabytes apart in every column
+// (positions, adjacency, powers). Relabeling nodes so that ascending
+// ids follow a Z-order curve over grid cells of ~one radio range makes
+// spatial neighbors cache neighbors — the per-node grid query and the
+// candidate position reads then hit lines that the previous node just
+// pulled in.
+//
+// The permutation is a pure function of the positions (ties broken by
+// original id), so a relabeled run is reproducible, and the engine
+// inverts it before reports are assembled (api/engine.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace cbtc::geom {
+
+/// A permutation `perm` with perm[new_id] = old_id that visits grid
+/// cells of side `cell` in Morton (Z-curve) order, ids within a cell in
+/// ascending original order. `cell` must be positive; a non-positive
+/// cell (or an empty span) yields the identity.
+[[nodiscard]] std::vector<std::uint32_t> spatial_order(std::span<const vec2> positions,
+                                                       double cell);
+
+}  // namespace cbtc::geom

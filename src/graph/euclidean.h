@@ -18,6 +18,10 @@
 #include "graph/types.h"
 #include "radio/propagation.h"
 
+namespace cbtc::util {
+class thread_pool;
+}
+
 namespace cbtc::graph {
 
 /// Builds G_R with a spatial grid (O(n * k) for bounded density).
@@ -29,6 +33,17 @@ namespace cbtc::graph {
 /// is isotropic (bitwise-identical edge set).
 [[nodiscard]] undirected_graph build_max_power_graph(std::span<const geom::vec2> positions,
                                                      const radio::link_model& link);
+
+/// Parallel variants producing flat CSR adjacency directly: per-node
+/// count pass, exclusive prefix sum, parallel fill — zero per-edge
+/// sorted insertion. Expensive membership tests (per-link gains) are
+/// evaluated once per unordered pair. Edge set identical to the serial
+/// overloads for any pool width.
+[[nodiscard]] undirected_graph build_max_power_graph(std::span<const geom::vec2> positions,
+                                                     double max_range, util::thread_pool& pool);
+[[nodiscard]] undirected_graph build_max_power_graph(std::span<const geom::vec2> positions,
+                                                     const radio::link_model& link,
+                                                     util::thread_pool& pool);
 
 /// Reference O(n^2) construction, used to cross-check the grid path.
 [[nodiscard]] undirected_graph build_max_power_graph_brute(std::span<const geom::vec2> positions,

@@ -23,8 +23,22 @@ bool sorted_erase(std::vector<node_id>& list, node_id v) {
 
 }  // namespace
 
+void undirected_graph::materialize() {
+  if (!is_flat()) return;
+  adj_.resize(num_nodes_);
+  for (node_id u = 0; u < num_nodes_; ++u) {
+    adj_[u].assign(flat_.begin() + static_cast<std::ptrdiff_t>(offsets_[u]),
+                   flat_.begin() + static_cast<std::ptrdiff_t>(offsets_[u + 1]));
+  }
+  offsets_.clear();
+  offsets_.shrink_to_fit();
+  flat_.clear();
+  flat_.shrink_to_fit();
+}
+
 bool undirected_graph::add_edge(node_id u, node_id v) {
   if (u == v) return false;
+  materialize();
   if (!sorted_insert(adj_[u], v)) return false;
   sorted_insert(adj_[v], u);
   ++num_edges_;
@@ -33,6 +47,7 @@ bool undirected_graph::add_edge(node_id u, node_id v) {
 
 bool undirected_graph::remove_edge(node_id u, node_id v) {
   if (u == v) return false;
+  materialize();
   if (!sorted_erase(adj_[u], v)) return false;
   sorted_erase(adj_[v], u);
   --num_edges_;
@@ -40,16 +55,26 @@ bool undirected_graph::remove_edge(node_id u, node_id v) {
 }
 
 bool undirected_graph::has_edge(node_id u, node_id v) const {
-  if (u >= adj_.size() || v >= adj_.size()) return false;
-  const auto& list = adj_[u];
+  if (u >= num_nodes_ || v >= num_nodes_) return false;
+  const std::span<const node_id> list = neighbors(u);
   return std::binary_search(list.begin(), list.end(), v);
+}
+
+bool operator==(const undirected_graph& a, const undirected_graph& b) {
+  if (a.num_nodes_ != b.num_nodes_ || a.num_edges_ != b.num_edges_) return false;
+  for (node_id u = 0; u < a.num_nodes_; ++u) {
+    const std::span<const node_id> la = a.neighbors(u);
+    const std::span<const node_id> lb = b.neighbors(u);
+    if (!std::equal(la.begin(), la.end(), lb.begin(), lb.end())) return false;
+  }
+  return true;
 }
 
 undirected_graph undirected_graph::induced(const std::vector<bool>& mask) const {
   undirected_graph g(num_nodes());
-  for (node_id u = 0; u < adj_.size(); ++u) {
+  for (node_id u = 0; u < num_nodes_; ++u) {
     if (u >= mask.size() || !mask[u]) continue;
-    for (node_id v : adj_[u]) {
+    for (node_id v : neighbors(u)) {
       if (u < v && v < mask.size() && mask[v]) g.add_edge(u, v);
     }
   }
@@ -75,11 +100,50 @@ undirected_graph undirected_graph::from_adjacency(std::vector<std::vector<node_i
   return g;
 }
 
+undirected_graph undirected_graph::from_csr(std::vector<std::size_t> offsets,
+                                            std::vector<node_id> neighbors) {
+  assert(!offsets.empty());
+  assert(offsets.front() == 0);
+  assert(offsets.back() == neighbors.size());
+  undirected_graph g;
+  g.num_nodes_ = offsets.size() - 1;
+  g.num_edges_ = neighbors.size() / 2;
+#ifndef NDEBUG
+  for (node_id u = 0; u < g.num_nodes_; ++u) {
+    assert(offsets[u] <= offsets[u + 1]);
+    const auto lo = neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[u]);
+    const auto hi = neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[u + 1]);
+    assert(std::is_sorted(lo, hi));
+    assert(std::adjacent_find(lo, hi) == hi);
+    assert(!std::binary_search(lo, hi, u));
+    for (auto it = lo; it != hi; ++it) {
+      const auto vlo = neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[*it]);
+      const auto vhi = neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[*it + 1]);
+      assert(std::binary_search(vlo, vhi, u));  // symmetric
+    }
+  }
+#endif
+  g.offsets_ = std::move(offsets);
+  g.flat_ = std::move(neighbors);
+  return g;
+}
+
+undirected_graph undirected_graph::flattened() const {
+  std::vector<std::size_t> offsets(num_nodes_ + 1, 0);
+  for (node_id u = 0; u < num_nodes_; ++u) offsets[u + 1] = offsets[u] + degree(u);
+  std::vector<node_id> flat(offsets.back());
+  for (node_id u = 0; u < num_nodes_; ++u) {
+    const std::span<const node_id> list = neighbors(u);
+    std::copy(list.begin(), list.end(), flat.begin() + static_cast<std::ptrdiff_t>(offsets[u]));
+  }
+  return from_csr(std::move(offsets), std::move(flat));
+}
+
 std::vector<edge> undirected_graph::edges() const {
   std::vector<edge> out;
   out.reserve(num_edges_);
-  for (node_id u = 0; u < adj_.size(); ++u) {
-    for (node_id v : adj_[u]) {
+  for (node_id u = 0; u < num_nodes_; ++u) {
+    for (node_id v : neighbors(u)) {
       if (u < v) out.push_back({u, v});
     }
   }

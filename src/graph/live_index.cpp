@@ -56,27 +56,51 @@ void live_neighbor_index::filter_reachable(node_id u,
   // is the exact double gain() returned, so verdicts are bitwise-
   // identical to the uncached filter.
   const double budget = link_->max_power() * (1.0 + 1e-12);
+  // Squared feasible-distance bounds per gain: required_power(d) / g
+  // <= budget iff d <= range(budget * g), so a candidate strictly
+  // inside (outside) a 1e-6 relative band around that distance is
+  // decided from its squared distance alone — no pow, no sqrt. The
+  // band dwarfs the few-ulp spread between hypot-based distances and
+  // raw squared distances, so only true boundary candidates fall
+  // through to the exact legacy arithmetic.
+  const auto entry_of = [&](node_id v, double g, std::uint64_t epoch) -> gain_entry {
+    const double d_max = link_->power().range(budget * g);
+    const double d_in = d_max * (1.0 - 1e-6);
+    const double d_out = d_max * (1.0 + 1e-6);
+    return {v, g, epoch, d_in * d_in, d_out * d_out};
+  };
   std::size_t ri = 0;
   std::size_t out = 0;
   for (const geom::point_index v : candidates) {
     ++gain_lookups_;
     while (ri < row.size() && row[ri].v < v) ++ri;
-    double g;
+    const gain_entry* e;
     if (ri < row.size() && row[ri].v == v &&
         (!position_dependent_gain_ || row[ri].peer_epoch == pos_epoch_[v])) {
-      g = row[ri].gain;
+      e = &row[ri];
     } else {
       ++gain_misses_;
-      g = link_->gain(u, v, positions_[u], positions_[v]);
+      const double g = link_->gain(u, v, positions_[u], positions_[v]);
       const std::uint64_t epoch = position_dependent_gain_ ? pos_epoch_[v] : 0;
       if (ri < row.size() && row[ri].v == v) {
-        row[ri] = {v, g, epoch};  // stale obstacle gain: refresh in place
+        row[ri] = entry_of(v, g, epoch);  // stale obstacle gain: refresh in place
+        e = &row[ri];
       } else {
-        row_scratch_.push_back({v, g, epoch});
+        row_scratch_.push_back(entry_of(v, g, epoch));
+        e = &row_scratch_.back();
       }
     }
-    const double d = geom::distance(positions_[u], positions_[v]);
-    if (link_->power().required_power(d) / g <= budget) candidates[out++] = v;
+    const double d2 = geom::distance_sq(positions_[u], positions_[v]);
+    bool reachable;
+    if (d2 <= e->d2_in) {
+      reachable = true;
+    } else if (d2 > e->d2_out) {
+      reachable = false;
+    } else {
+      const double d = geom::distance(positions_[u], positions_[v]);
+      reachable = link_->power().required_power(d) / e->gain <= budget;
+    }
+    if (reachable) candidates[out++] = v;
   }
   candidates.resize(out);
   if (!row_scratch_.empty()) {

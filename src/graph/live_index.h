@@ -115,10 +115,18 @@ class live_neighbor_index {
   /// computed when `v`'s position epoch was `peer_epoch` (epochs only
   /// engage for obstacle fields; shadowing gains are id-pure and never
   /// stale — a move of `u` itself clears its whole row instead).
+  /// `d2_in` / `d2_out` invert the max-power budget into squared
+  /// feasible-distance bounds for this gain (with a conservative 1e-6
+  /// relative band): candidates whose squared distance falls below /
+  /// above them are accepted / rejected without evaluating `pow` or a
+  /// square root; only the thin band in between pays the exact
+  /// reaches_at arithmetic, so verdicts stay bitwise-identical.
   struct gain_entry {
     node_id v;
     double gain;
     std::uint64_t peer_epoch;
+    double d2_in;
+    double d2_out;
   };
 
   double max_range_;

@@ -100,8 +100,22 @@ const std::vector<obstacle>& propagation_model::obstacles() const {
   return obstacles_ ? *obstacles_ : empty;
 }
 
+propagation_model propagation_model::relabeled(std::vector<std::uint32_t> ids) const {
+  propagation_model m = *this;
+  if (is_isotropic()) return m;  // identity gains: nothing to translate
+  if (relabel_) {
+    for (std::uint32_t& id : ids) id = (*relabel_)[id];
+  }
+  m.relabel_ = std::make_shared<const std::vector<std::uint32_t>>(std::move(ids));
+  return m;
+}
+
 double propagation_model::gain(std::uint32_t u, std::uint32_t v, const geom::vec2& pu,
                                const geom::vec2& pv) const {
+  if (relabel_) {
+    u = (*relabel_)[u];
+    v = (*relabel_)[v];
+  }
   switch (kind_) {
     case propagation_kind::isotropic:
       return 1.0;

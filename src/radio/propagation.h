@@ -82,6 +82,13 @@ class propagation_model {
   [[nodiscard]] double gain(std::uint32_t u, std::uint32_t v, const geom::vec2& pu,
                             const geom::vec2& pv) const;
 
+  /// A view of this model under a node relabeling: gain(u, v) of the
+  /// returned model equals gain(ids[u], ids[v]) of this one. This is
+  /// how the engine's spatial-relabeling pass keeps shadowing gains —
+  /// which hash *node ids* — bitwise-identical while the pipeline runs
+  /// in permuted label space. Composes with an existing relabeling.
+  [[nodiscard]] propagation_model relabeled(std::vector<std::uint32_t> ids) const;
+
   /// Upper bound on gain() over every possible link (exactly 1.0 for
   /// isotropic and obstacle fields).
   [[nodiscard]] double max_gain() const { return max_gain_; }
@@ -103,6 +110,9 @@ class propagation_model {
   // Shared so propagation_model stays cheap to copy into every
   // engine/medium/index that consumes it.
   std::shared_ptr<const std::vector<obstacle>> obstacles_;
+  // Engaged by relabeled(): translates caller ids back to the original
+  // labels before hashing, so relabeled runs draw the same gains.
+  std::shared_ptr<const std::vector<std::uint32_t>> relabel_;
   double max_gain_{1.0};
 };
 
@@ -152,6 +162,12 @@ class link_model {
   /// spatial indexes prune candidates by this radius, then filter
   /// per link. Exactly max_range() when gains cannot exceed 1.
   [[nodiscard]] double max_candidate_range() const { return max_candidate_range_; }
+
+  /// The same radio budget under a node relabeling (see
+  /// propagation_model::relabeled).
+  [[nodiscard]] link_model relabeled(std::vector<std::uint32_t> ids) const {
+    return {power_, prop_.relabeled(std::move(ids))};
+  }
 
  private:
   power_model power_;

@@ -251,6 +251,70 @@ TEST(ApiParallel, ShadowedLifetimeIsThreadCountInvariant) {
   EXPECT_EQ(serial.field_partition, parallel.field_partition);
 }
 
+// ---- spatial relabeling: invisible in every report ------------------
+
+/// Forcing the Morton relabeling pass on (threshold 0) must not change
+/// a single bit of the static report relative to the default
+/// label-order pipeline, at any thread count: the permutation is
+/// inverted before reporting and tie-free geometry makes the growth
+/// order label-independent.
+TEST(ApiParallel, RelabelingIsInvisibleInStaticReports) {
+  const engine eng;
+  const run_report reference = eng.run(big_spec(1), 0);
+  for (const unsigned threads : {1u, 4u}) {
+    scenario_spec relabeled = big_spec(threads);
+    relabeled.cbtc.relabel_min_nodes = 0;
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    expect_bitwise_equal(reference, eng.run(relabeled, 0));
+  }
+}
+
+/// Shadowing gains hash *node ids*, so this exercises the propagation
+/// relabeling layer: the permuted pipeline must draw the exact gains of
+/// the original labels or edges flip.
+TEST(ApiParallel, ShadowedRelabelingIsInvisible) {
+  const engine eng;
+  for (const std::uint64_t seed : {0ull, 7ull}) {
+    const run_report reference = eng.run(shadowed_big_spec(1), seed);
+    for (const unsigned threads : {1u, 4u}) {
+      scenario_spec relabeled = shadowed_big_spec(threads);
+      relabeled.cbtc.relabel_min_nodes = 0;
+      SCOPED_TRACE(::testing::Message() << "seed=" << seed << " threads=" << threads);
+      expect_bitwise_equal(reference, eng.run(relabeled, seed));
+    }
+  }
+}
+
+/// Discrete growth mode runs the same relabeled build path.
+TEST(ApiParallel, RelabelingIsInvisibleInDiscreteGrowth) {
+  scenario_spec off = big_spec(4);
+  off.cbtc.mode = algo::growth_mode::discrete;
+  scenario_spec on = off;
+  on.cbtc.relabel_min_nodes = 0;
+  const engine eng;
+  expect_bitwise_equal(eng.run(off, 3), eng.run(on, 3));
+}
+
+/// Lifetime rebuilds the static topology every epoch; relabeling must
+/// not shift a death time.
+TEST(ApiParallel, RelabelingIsInvisibleInLifetimeReports) {
+  scenario_spec spec;
+  spec.deploy = {.kind = deployment_kind::uniform, .nodes = 50, .region_side = 1200.0};
+  spec.base_seed = 88;
+  spec.cbtc.mode = algo::growth_mode::continuous;
+  spec.opts = algo::optimization_set::all();
+  const lifetime_spec life{.battery_rounds = 25.0, .flows = 15, .max_rounds = 2000};
+  const engine eng;
+  const lifetime_report reference = eng.run_lifetime(spec, life, 0);
+  scenario_spec relabeled = spec;
+  relabeled.cbtc.relabel_min_nodes = 0;
+  relabeled.cbtc.intra_threads = 4;
+  const lifetime_report permuted = eng.run_lifetime(relabeled, life, 0);
+  EXPECT_EQ(reference.first_death, permuted.first_death);
+  EXPECT_EQ(reference.quarter_dead, permuted.quarter_dead);
+  EXPECT_EQ(reference.field_partition, permuted.field_partition);
+}
+
 // ---- executor nesting: batch x intra threads ------------------------
 
 /// Every (batch threads, intra threads) combination — including

@@ -16,10 +16,22 @@ speed:
     regressions fail loudly even on a runner 3x slower than the
     machine that produced the baseline.
 
+Absolute reference times come from the committed baseline by default.
+With --history, prior run artifacts (BENCH_*.json files kept by CI)
+supply a rolling median instead: each benchmark present in at least
+--history-min prior runs is compared against the median of its last
+--history-window measurements, which tracks the runner's real speed
+far more tightly than a baseline produced on another machine. Names
+absent from the history fall back to the committed baseline times.
+
 Usage:
   check_bench.py --bench BENCH_scaling.json --baseline bench/baseline_scaling.json
   check_bench.py ... --tolerance 4.0     # override every absolute tolerance
   check_bench.py ... --update            # rewrite baseline times from the run
+  check_bench.py ... --require-row BM_Growth/1000000/iterations:1
+                                         # fail unless the run contains the row
+  check_bench.py ... --history prev1.json prev2.json ...
+                                         # roll the reference times from history
 
 Exit status: 0 = all checks pass, 1 = regression or missing benchmark,
 2 = bad invocation / malformed input.
@@ -27,6 +39,7 @@ Exit status: 0 = all checks pass, 1 = regression or missing benchmark,
 
 import argparse
 import json
+import statistics
 import sys
 
 UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -66,6 +79,18 @@ def main():
                     help="override the absolute-time tolerance for every benchmark")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline's benchmark times from the run and exit")
+    ap.add_argument("--require-row", action="append", default=[], metavar="NAME",
+                    help="fail unless the run contains this benchmark row "
+                         "(repeatable; guards against a filter silently dropping "
+                         "the row a gate depends on)")
+    ap.add_argument("--history", nargs="+", default=[], metavar="RUN_JSON",
+                    help="prior run artifacts; reference times become the rolling "
+                         "median over the last --history-window of them")
+    ap.add_argument("--history-window", type=int, default=5,
+                    help="use at most the last K history runs per benchmark (default 5)")
+    ap.add_argument("--history-min", type=int, default=3,
+                    help="minimum history samples before the median replaces the "
+                         "committed baseline time for a benchmark (default 3)")
     args = ap.parse_args()
 
     try:
@@ -94,14 +119,41 @@ def main():
         print(f"baseline updated: {len(run)} benchmarks -> {args.baseline}")
         return 0
 
+    # Rolling-median reference: per benchmark, the median real time over
+    # the last --history-window prior runs (arguments in oldest-to-
+    # newest order). Medians shrug off one anomalous prior run, which a
+    # mean or a single-run reference would drag along.
+    history = {}
+    for path in args.history:
+        try:
+            prior = load_run(path)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+            print(f"warning: skipping history run {path}: {e}", file=sys.stderr)
+            continue
+        for name, t in prior.items():
+            history.setdefault(name, []).append(t)
+    rolled = {
+        name: statistics.median(samples[-args.history_window:])
+        for name, samples in history.items()
+        if len(samples[-args.history_window:]) >= args.history_min
+    }
+
     default_tol = args.tolerance or float(baseline.get("default_tolerance", 4.0))
     failures = []
     absolute_rows = 0
-    print(f"{'benchmark':62} {'baseline':>10} {'now':>10} {'ratio':>7} {'limit':>7}  status")
+
+    for name in args.require_row:
+        if name not in run:
+            failures.append(f"required row {name!r} missing from the run "
+                            f"(filter changed or bench dropped?)")
+            print(f"required row {name}: MISSING")
+
+    ref_label = "rolled" if rolled else "baseline"
+    print(f"{'benchmark':62} {ref_label:>10} {'now':>10} {'ratio':>7} {'limit':>7}  status")
 
     for name, entry in baseline.get("benchmarks", {}).items():
         absolute_rows += 1
-        base_ns = float(entry["real_time_ns"])
+        base_ns = rolled.get(name, float(entry["real_time_ns"]))
         tol = args.tolerance or float(entry.get("tolerance", default_tol))
         if name not in run:
             failures.append(f"{name}: missing from the run (filter changed or bench dropped?)")
