@@ -412,6 +412,47 @@ void BM_DynamicCaptureFull(benchmark::State& state) { run_dynamic_capture(state,
 BENCHMARK(BM_DynamicCaptureMirror)->Arg(150)->Arg(600)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DynamicCaptureFull)->Arg(150)->Arg(600)->Unit(benchmark::kMillisecond);
 
+// -- partitioned dynamic engine: single queue vs regioned lanes -------
+
+/// The 100k-node mobile-churn acceptance row for the spatially
+/// partitioned event engine: a full dynamic run (protocol build-out,
+/// NDP beaconing, waypoint mobility, crashes) on one queue versus 16
+/// regions x 4 intra threads. Reports are bitwise identical (tests
+/// assert it); the machine-independent gate is the partitioned/serial
+/// *ratio*, which must show a real speedup, not parity. One iteration
+/// per measurement — the rows are seconds-scale.
+void run_dynamic_partitioned(benchmark::State& state, std::uint32_t regions, unsigned threads) {
+  api::scenario_spec spec = scaling_spec(state.range(0));
+  spec.method = api::method_spec::protocol();
+  spec.protocol.agent.round_timeout = 0.5;
+  spec.protocol.channel.base_delay = 0.01;
+  spec.cbtc.intra_threads = threads;
+  api::sim_spec dyn;
+  dyn.horizon = 6.0;
+  dyn.settle = 3.0;
+  dyn.sample_every = 1.5;
+  dyn.mobility = {.kind = api::mobility_kind::random_waypoint,
+                  .min_speed = 2.0,
+                  .max_speed = 8.0,
+                  .tick = 0.5,
+                  .start = 3.0};
+  dyn.failures.random_crashes = state.range(0) / 100;
+  dyn.failures.window_begin = 3.5;
+  dyn.failures.window_end = 5.5;
+  dyn.partition.regions = regions;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.run_dynamic(spec, dyn, 0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_DynamicTickSerial(benchmark::State& state) { run_dynamic_partitioned(state, 1, 1); }
+void BM_DynamicTickPartitioned(benchmark::State& state) {
+  run_dynamic_partitioned(state, 16, 4);
+}
+BENCHMARK(BM_DynamicTickSerial)->Arg(100000)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DynamicTickPartitioned)->Arg(100000)->Iterations(1)->Unit(benchmark::kMillisecond);
+
 // -- substrate micro-benchmarks (not scenario orchestration) ----------
 
 void BM_MaxPowerGraphGrid(benchmark::State& state) {

@@ -64,6 +64,10 @@ std::size_t cbtc_result::boundary_count() const {
 
 namespace {
 
+/// One growth chunk: each worker refills one arena per 64 nodes
+/// instead of allocating per node.
+constexpr std::size_t growth_chunk = 64;
+
 /// Candidate neighbors of one node, sorted by distance.
 struct candidate {
   node_id id;
@@ -71,29 +75,17 @@ struct candidate {
   double direction;
 };
 
-std::vector<candidate> candidates_of(node_id u, std::span<const geom::vec2> positions,
-                                     const geom::spatial_grid& grid, double max_range) {
-  std::vector<candidate> cands;
-  const geom::vec2 pu = positions[u];
-  for (geom::point_index v : grid.query_radius(pu, max_range, u)) {
-    const geom::vec2 d = positions[v] - pu;
-    cands.push_back({v, d.norm(), d.bearing()});
-  }
-  std::sort(cands.begin(), cands.end(), [](const candidate& a, const candidate& b) {
-    return a.distance < b.distance || (a.distance == b.distance && a.id < b.id);
-  });
-  return cands;
-}
+struct growth_arena;  // reused per-chunk growth buffers, defined below
 
 /// Figure 1, executed exactly: p <- p0; while (p < P and gap-alpha(D)):
 /// p <- min(Increase(p), P); broadcast and absorb everyone in range.
-node_result run_discrete(const std::vector<candidate>& cands, const radio::power_model& power,
-                         const cbtc_params& params, double p0) {
+node_result run_discrete(std::span<const candidate> cands, const radio::power_model& power,
+                         const cbtc_params& params, double p0, std::vector<double>& dirs) {
   node_result res;
   const double max_power = power.max_power();
   double p = p0;
   std::size_t next = 0;  // first candidate not yet discovered
-  std::vector<double> dirs;
+  dirs.clear();
 
   while (p < max_power && geom::has_alpha_gap(dirs, params.alpha)) {
     p = std::min(p * params.increase_factor, max_power);
@@ -116,10 +108,10 @@ node_result run_discrete(const std::vector<candidate>& cands, const radio::power
 /// distance order; stop at the first prefix with no alpha-gap. Each
 /// admission is its own power level, so shrink-back and reconfiguration
 /// tags behave exactly like an infinitely fine discrete schedule.
-node_result run_continuous(const std::vector<candidate>& cands, const radio::power_model& power,
-                           const cbtc_params& params) {
+node_result run_continuous(std::span<const candidate> cands, const radio::power_model& power,
+                           const cbtc_params& params, std::vector<double>& dirs) {
   node_result res;
-  std::vector<double> dirs;
+  dirs.clear();
   bool covered = false;
   for (const candidate& c : cands) {
     if (!geom::has_alpha_gap(dirs, params.alpha)) {
@@ -157,23 +149,51 @@ struct link_candidate {
   double req_power;  // p(d) / gain: what closes the link
 };
 
-std::vector<link_candidate> link_candidates_of(node_id u, std::span<const geom::vec2> positions,
-                                               const geom::spatial_grid& grid,
-                                               const radio::link_model& link) {
-  std::vector<link_candidate> cands;
+/// Reused per-chunk growth buffers: candidate discovery refills these
+/// flat arrays instead of materializing fresh vectors for every node,
+/// which is where the allocator traffic went at 100k-1M nodes. Growth
+/// results are per-slot, so the chunking cannot change them.
+struct growth_arena {
+  std::vector<geom::point_index> hits;
+  std::vector<candidate> cands;
+  std::vector<link_candidate> link_cands;
+  std::vector<double> dirs;
+};
+
+void candidates_into(node_id u, std::span<const geom::vec2> positions,
+                     const geom::spatial_grid& grid, double max_range, growth_arena& arena) {
+  arena.hits.clear();
+  arena.cands.clear();
+  const geom::vec2 pu = positions[u];
+  grid.query_radius_into(pu, max_range, u, arena.hits);
+  for (geom::point_index v : arena.hits) {
+    const geom::vec2 d = positions[v] - pu;
+    arena.cands.push_back({v, d.norm(), d.bearing()});
+  }
+  std::sort(arena.cands.begin(), arena.cands.end(), [](const candidate& a, const candidate& b) {
+    return a.distance < b.distance || (a.distance == b.distance && a.id < b.id);
+  });
+}
+
+void link_candidates_into(node_id u, std::span<const geom::vec2> positions,
+                          const geom::spatial_grid& grid, const radio::link_model& link,
+                          growth_arena& arena) {
+  arena.hits.clear();
+  arena.link_cands.clear();
   const geom::vec2 pu = positions[u];
   const double max_power = link.max_power();
-  for (geom::point_index v : grid.query_radius(pu, link.max_candidate_range(), u)) {
+  grid.query_radius_into(pu, link.max_candidate_range(), u, arena.hits);
+  for (geom::point_index v : arena.hits) {
     const geom::vec2 d = positions[v] - pu;
     const double dist = d.norm();
     const double req = link.required_power_at(dist, u, v, pu, positions[v]);
     if (req > max_power * (1.0 + 1e-12)) continue;  // never decodable
-    cands.push_back({v, dist, d.bearing(), req});
+    arena.link_cands.push_back({v, dist, d.bearing(), req});
   }
-  std::sort(cands.begin(), cands.end(), [](const link_candidate& a, const link_candidate& b) {
-    return a.req_power < b.req_power || (a.req_power == b.req_power && a.id < b.id);
-  });
-  return cands;
+  std::sort(arena.link_cands.begin(), arena.link_cands.end(),
+            [](const link_candidate& a, const link_candidate& b) {
+              return a.req_power < b.req_power || (a.req_power == b.req_power && a.id < b.id);
+            });
 }
 
 /// Keeps the documented node_result invariant (neighbors sorted by
@@ -189,14 +209,14 @@ void sort_neighbors_by_distance(node_result& res) {
 /// Figure 1 under per-link gains: a broadcast at power p is decoded by
 /// exactly the candidates with req_power <= p (one-ulp tolerance, the
 /// medium's decodability test).
-node_result run_discrete_link(const std::vector<link_candidate>& cands,
+node_result run_discrete_link(std::span<const link_candidate> cands,
                               const radio::link_model& link, const cbtc_params& params,
-                              double p0) {
+                              double p0, std::vector<double>& dirs) {
   node_result res;
   const double max_power = link.max_power();
   double p = p0;
   std::size_t next = 0;  // first candidate not yet discovered
-  std::vector<double> dirs;
+  dirs.clear();
 
   while (p < max_power && geom::has_alpha_gap(dirs, params.alpha)) {
     p = std::min(p * params.increase_factor, max_power);
@@ -218,10 +238,11 @@ node_result run_discrete_link(const std::vector<link_candidate>& cands,
 /// Continuous growth under per-link gains: admit candidates one at a
 /// time in required-power order; stop at the first prefix with no
 /// alpha-gap.
-node_result run_continuous_link(const std::vector<link_candidate>& cands,
-                                const radio::link_model& link, const cbtc_params& params) {
+node_result run_continuous_link(std::span<const link_candidate> cands,
+                                const radio::link_model& link, const cbtc_params& params,
+                                std::vector<double>& dirs) {
   node_result res;
-  std::vector<double> dirs;
+  dirs.clear();
   bool covered = false;
   for (const link_candidate& c : cands) {
     if (!geom::has_alpha_gap(dirs, params.alpha)) {
@@ -270,12 +291,14 @@ cbtc_result run_cbtc(std::span<const geom::vec2> positions, const radio::power_m
   const geom::spatial_grid grid(positions, power.max_range());
   result.nodes.resize(positions.size());
   util::thread_pool pool(params.intra_threads);
-  pool.parallel_for(positions.size(), [&](std::size_t u) {
-    const std::vector<candidate> cands =
-        candidates_of(static_cast<node_id>(u), positions, grid, power.max_range());
-    result.nodes[u] = params.mode == growth_mode::discrete
-                          ? run_discrete(cands, power, params, p0)
-                          : run_continuous(cands, power, params);
+  pool.parallel_for_chunks(positions.size(), growth_chunk, [&](std::size_t lo, std::size_t hi) {
+    growth_arena arena;
+    for (std::size_t u = lo; u < hi; ++u) {
+      candidates_into(static_cast<node_id>(u), positions, grid, power.max_range(), arena);
+      result.nodes[u] = params.mode == growth_mode::discrete
+                            ? run_discrete(arena.cands, power, params, p0, arena.dirs)
+                            : run_continuous(arena.cands, power, params, arena.dirs);
+    }
   });
   return result;
 }
@@ -307,12 +330,14 @@ cbtc_result run_cbtc(std::span<const geom::vec2> positions, const radio::link_mo
   const geom::spatial_grid grid(positions, link.max_candidate_range());
   result.nodes.resize(positions.size());
   util::thread_pool pool(params.intra_threads);
-  pool.parallel_for(positions.size(), [&](std::size_t u) {
-    const std::vector<link_candidate> cands =
-        link_candidates_of(static_cast<node_id>(u), positions, grid, link);
-    result.nodes[u] = params.mode == growth_mode::discrete
-                          ? run_discrete_link(cands, link, params, p0)
-                          : run_continuous_link(cands, link, params);
+  pool.parallel_for_chunks(positions.size(), growth_chunk, [&](std::size_t lo, std::size_t hi) {
+    growth_arena arena;
+    for (std::size_t u = lo; u < hi; ++u) {
+      link_candidates_into(static_cast<node_id>(u), positions, grid, link, arena);
+      result.nodes[u] = params.mode == growth_mode::discrete
+                            ? run_discrete_link(arena.link_cands, link, params, p0, arena.dirs)
+                            : run_continuous_link(arena.link_cands, link, params, arena.dirs);
+    }
   });
   return result;
 }

@@ -13,6 +13,7 @@
 // connectivity monitor on top of it yields exact disruption windows —
 // connectivity is re-evaluated at every event timestamp that changed
 // the index or an agent's neighbor table, not at sample cadence.
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <random>
@@ -28,6 +29,7 @@
 #include "sim/failure.h"
 #include "sim/medium.h"
 #include "sim/mobility.h"
+#include "sim/partition.h"
 #include "sim/simulator.h"
 #include "util/parallel.h"
 
@@ -116,6 +118,29 @@ bool alive_subgraph_connected(const graph::undirected_graph& g, const std::vecto
   return true;
 }
 
+/// Region grid side (g x g regions) for a dynamic run; 0 selects the
+/// serial single-queue reference. The partitioned engine requires a
+/// positive lookahead (the channel's fixed base delay) and a draw-free
+/// delivery path — per-delivery channel randomness (drop / dup /
+/// jitter) or direction noise would be consumed in engine-dependent
+/// order, so such runs stay on the reference path. All registry
+/// presets are draw-free.
+std::uint32_t region_grid_side(const scenario_spec& spec, const sim_spec& sim_cfg,
+                               std::size_t nodes) {
+  const radio::channel_params& ch = spec.protocol.channel;
+  if (ch.base_delay <= 0.0 || ch.drop_prob > 0.0 || ch.dup_prob > 0.0 || ch.jitter_max > 0.0 ||
+      spec.protocol.direction_noise > 0.0) {
+    return 0;
+  }
+  std::uint32_t regions = sim_cfg.partition.regions;
+  if (regions == 0) {
+    if (nodes < sim_cfg.partition.min_nodes) return 0;
+    regions = std::clamp<std::uint32_t>(static_cast<std::uint32_t>(nodes / 4096), 4U, 64U);
+  }
+  const auto side = static_cast<std::uint32_t>(std::sqrt(static_cast<double>(regions)));
+  return side >= 2 ? side : 0;
+}
+
 }  // namespace
 
 dynamic_report engine::run_dynamic(const scenario_spec& spec, const sim_spec& sim_cfg,
@@ -129,7 +154,35 @@ dynamic_report engine::run_dynamic(const scenario_spec& spec, const sim_spec& si
   r.seed = seed;
   r.nodes = positions.size();
 
-  sim::simulator simulator;
+  // Engine selection: both engines execute the same canonical event
+  // order (sim/scheduler.h), so the serial simulator in canonical-tie
+  // mode is the bitwise-reference oracle for the partitioned engine at
+  // any region/thread count (asserted in sim_partition_test).
+  util::thread_pool pool(spec.cbtc.intra_threads);
+  const std::uint32_t grid_side = region_grid_side(spec, sim_cfg, positions.size());
+  const geom::bbox field = spec.region();
+  const auto region_at = [&](const geom::vec2& p) -> std::uint32_t {
+    const double fx = field.width() > 0.0 ? (p.x - field.min.x) / field.width() : 0.0;
+    const double fy = field.height() > 0.0 ? (p.y - field.min.y) / field.height() : 0.0;
+    const auto cx = std::min<std::uint32_t>(
+        grid_side - 1, static_cast<std::uint32_t>(std::max(0.0, fx * grid_side)));
+    const auto cy = std::min<std::uint32_t>(
+        grid_side - 1, static_cast<std::uint32_t>(std::max(0.0, fy * grid_side)));
+    return cy * grid_side + cx;
+  };
+  sim::simulator serial_sim(sim::tie_policy::canonical);
+  std::unique_ptr<sim::partitioned_simulator> psim;
+  if (grid_side >= 2) {
+    psim = std::make_unique<sim::partitioned_simulator>(
+        positions.size(),
+        sim::partitioned_simulator::config{.regions = grid_side * grid_side,
+                                           .lookahead = spec.protocol.channel.base_delay,
+                                           .pool = &pool});
+    for (graph::node_id u = 0; u < positions.size(); ++u) {
+      psim->set_region(u, region_at(positions[u]));
+    }
+  }
+  sim::scheduler& simulator = psim ? static_cast<sim::scheduler&>(*psim) : serial_sim;
   sim::medium medium(simulator, link, radio::channel(spec.protocol.channel, instance_seed),
                      radio::direction_estimator(spec.protocol.direction_noise, instance_seed + 1));
 
@@ -155,22 +208,61 @@ dynamic_report engine::run_dynamic(const scenario_spec& spec, const sim_spec& si
   // model the index maintains exactly the links that close at P.
   graph::live_neighbor_index index(positions, link);
   graph::connectivity_monitor field_monitor(index);
-  util::thread_pool pool(spec.cbtc.intra_threads);
   graph::connectivity_scratch scratch;
+
+  // Broadcast routing through the live index: neighbors(u) is exactly
+  // the set any transmit power can reach (sorted ascending, like the
+  // full scan), so deliveries are bitwise-identical and O(degree).
+  medium.set_broadcast_directory(
+      [&index](graph::node_id u) { return index.neighbors(u); });
+  if (psim) {
+    std::vector<std::uint32_t> region_map(positions.size());
+    for (graph::node_id u = 0; u < positions.size(); ++u) region_map[u] = psim->region_of(u);
+    index.set_region_map(std::move(region_map), psim->regions());
+  }
 
   // The agents' closure topology, mirrored from per-agent table deltas
   // so a connectivity evaluation never re-reads n neighbor tables.
+  // Under the partitioned engine, deltas produced inside a parallel
+  // region phase are buffered per region and applied at the barrier:
+  // the mirror's net state is delta-order-invariant (sorted entry
+  // vectors with per-pair arc counts), so the flush order does not
+  // matter, and evaluations only read it from the (serial) instant
+  // hook.
+  struct arc_delta {
+    graph::node_id u, v;
+    bool added;
+  };
   std::unique_ptr<graph::closure_mirror> mirror;
+  std::vector<std::vector<arc_delta>> mirror_deltas;
   if (sim_cfg.mirror_agent_tables) {
     mirror = std::make_unique<graph::closure_mirror>(positions.size());
+    if (psim) mirror_deltas.resize(psim->regions());
     for (graph::node_id u = 0; u < agents.size(); ++u) {
-      agents[u]->set_table_hook([u, m = mirror.get()](graph::node_id v, bool added) {
+      agents[u]->set_table_hook([u, m = mirror.get(), &mirror_deltas](graph::node_id v,
+                                                                      bool added) {
         // Evaluations are scheduled by the coarser change hook below;
         // the delta stream only keeps the mirror current.
-        if (added) {
+        if (sim::partitioned_simulator::in_event_phase()) {
+          mirror_deltas[sim::partitioned_simulator::current_region()].push_back({u, v, added});
+        } else if (added) {
           m->add_arc(u, v);
         } else {
           m->remove_arc(u, v);
+        }
+      });
+    }
+    if (psim) {
+      psim->set_barrier_hook([m = mirror.get(), &mirror_deltas] {
+        for (std::vector<arc_delta>& deltas : mirror_deltas) {
+          for (const arc_delta& d : deltas) {
+            if (d.added) {
+              m->add_arc(d.u, d.v);
+            } else {
+              m->remove_arc(d.u, d.v);
+            }
+          }
+          deltas.clear();
         }
       });
     }
@@ -178,12 +270,13 @@ dynamic_report engine::run_dynamic(const scenario_spec& spec, const sim_spec& si
 
   // -- event-driven connectivity tracking ---------------------------
   // Armed after the settle sample. Every event that changes the index
-  // or an agent's neighbor table schedules one evaluation at the
-  // current timestamp (FIFO within equal times: the evaluation sees
-  // the settled state of its instant). Disruption windows therefore
-  // carry exact event times instead of sample-cadence times.
+  // or an agent's neighbor table requests the scheduler's end-of-
+  // instant hook; the evaluation runs exactly once per changed
+  // instant, after all of that instant's events (and, under the
+  // partitioned engine, after the barrier applied the buffered mirror
+  // deltas). Disruption windows therefore carry exact event times
+  // instead of sample-cadence times.
   bool tracking = false;
-  bool eval_scheduled = false;
   bool was_ok = false;  // disruptions are ok -> broken transitions only;
                         // a topology still converging at `settle` is
                         // reported via initial_connectivity_ok instead
@@ -217,7 +310,6 @@ dynamic_report engine::run_dynamic(const scenario_spec& spec, const sim_spec& si
   };
 
   const auto evaluate_now = [&] {
-    eval_scheduled = false;
     if (mirror) {
       // In-place: read the mirror's and the index's adjacency directly
       // — no per-evaluation graph snapshots on the dense-churn path.
@@ -232,19 +324,28 @@ dynamic_report engine::run_dynamic(const scenario_spec& spec, const sim_spec& si
           field_monitor.connected());
   };
   const auto note_change = [&] {
-    if (!tracking || eval_scheduled) return;
-    eval_scheduled = true;
-    simulator.schedule_at(simulator.now(), evaluate_now);
+    // `tracking` only flips between run_until calls, so the unguarded
+    // read from parallel region phases is race-free.
+    if (!tracking) return;
+    simulator.request_instant_hook();
   };
+  simulator.set_instant_hook(evaluate_now);
 
   medium.set_move_hook([&](graph::node_id u, const geom::vec2& p) {
-    // The evaluation runs as an event after every mutation of this
-    // timestamp, so the index updates first — and a move that changed
+    // Mobility steps are class-0 (serial) events, so the index mutates
+    // before any handler of the instant runs — and a move that changed
     // no edge (version unchanged) cannot change connectivity, so it
-    // schedules no evaluation at all.
+    // requests no evaluation at all.
     const std::uint64_t before = index.version();
     index.move(u, p);
     if (index.version() != before) note_change();
+    if (psim) {
+      const std::uint32_t reg = region_at(p);
+      if (reg != psim->region_of(u)) {
+        psim->set_region(u, reg);
+        index.set_node_region(u, reg);
+      }
+    }
   });
   medium.set_liveness_hook([&](graph::node_id u, bool up) {
     if (up) {

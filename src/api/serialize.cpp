@@ -408,12 +408,20 @@ jv sim_to_jv(const sim_spec& s) {
     f.add("events", std::move(events));
     o.add("failures", std::move(f));
   }
+  // Partition knobs: emitted only when non-default, so every spec
+  // saved before the partitioned engine round-trips unchanged.
+  if (s.partition.regions != 0 || s.partition.min_nodes != partition_spec{}.min_nodes) {
+    jv part = jv::object();
+    part.add("regions", jv::of_u64(s.partition.regions));
+    part.add("min_nodes", jv::of_u64(s.partition.min_nodes));
+    o.add("partition", std::move(part));
+  }
   return o;
 }
 
 sim_spec sim_from_jv(const jv& o) {
   check_keys(o, "sim", {"horizon", "settle", "sample_every", "mirror_agent_tables", "beacons",
-                        "mobility", "failures"});
+                        "mobility", "failures", "partition"});
   sim_spec s;
   s.horizon = get_num(o, "horizon", s.horizon);
   s.settle = get_num(o, "settle", s.settle);
@@ -436,6 +444,11 @@ sim_spec sim_from_jv(const jv& o) {
     s.mobility.tick = get_num(*m, "tick", s.mobility.tick);
     s.mobility.start = get_num(*m, "start", s.mobility.start);
     s.mobility.until = get_num(*m, "until", s.mobility.until);
+  }
+  if (const jv* part = get(o, "partition")) {
+    check_keys(*part, "partition", {"regions", "min_nodes"});
+    s.partition.regions = static_cast<std::uint32_t>(get_u64(*part, "regions", s.partition.regions));
+    s.partition.min_nodes = get_u64(*part, "min_nodes", s.partition.min_nodes);
   }
   if (const jv* f = get(o, "failures")) {
     check_keys(*f, "failures", {"random_crashes", "window", "events"});

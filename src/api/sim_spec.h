@@ -77,6 +77,21 @@ struct beacon_spec {
   }
 };
 
+/// Spatial partitioning of the dynamic event engine (conservative
+/// PDES, sim/partition.h). `regions` requests a region count (rounded
+/// down to a g x g grid over the deployment field); 0 picks
+/// automatically — serial below `min_nodes`, then one region per
+/// ~4096 nodes (clamped to [4, 64]). Reports are bitwise-identical at
+/// every region count and thread count; runs whose channel or
+/// direction estimator draws randomness per delivery (drop/dup/jitter
+/// or direction noise, none of the registry presets) fall back to the
+/// single-queue reference, as does a channel without a positive base
+/// delay (the lookahead).
+struct partition_spec {
+  std::uint32_t regions{0};     ///< 0 = auto, 1 = force serial reference
+  std::size_t min_nodes{4096};  ///< auto mode engages at this node count
+};
+
 /// A complete dynamic simulation: what happens between t = 0 and the
 /// horizon. The initial growing phase runs first; metric sampling
 /// starts at `settle` (by which the initial topology should be built).
@@ -93,6 +108,8 @@ struct sim_spec {
   /// evaluation. Reports are bitwise identical either way (asserted in
   /// tests); false exists to keep the reference path exercisable.
   bool mirror_agent_tables{true};
+  /// Spatially partitioned parallel event engine (see partition_spec).
+  partition_spec partition{};
 };
 
 /// Battery-attrition lifetime experiment (round-based, no event sim):

@@ -142,6 +142,7 @@ void live_neighbor_index::move(node_id u, const geom::vec2& p) {
   // The medium keeps moving crashed nodes; they re-enter the index at
   // their restart position, so only the stored position updates here.
   if (!live_[u]) return;
+  note_churn(u);
   grid_.move(u, p);
 
   scratch_.clear();
@@ -169,6 +170,7 @@ void live_neighbor_index::move(node_id u, const geom::vec2& p) {
 
 void live_neighbor_index::erase(node_id u) {
   if (!live_[u]) return;
+  note_churn(u);
   const std::vector<node_id> nbrs = adj_[u];
   for (const node_id v : nbrs) unlink(u, v);
   grid_.erase(u);
@@ -180,6 +182,7 @@ void live_neighbor_index::erase(node_id u) {
 
 void live_neighbor_index::insert(node_id u, const geom::vec2& p) {
   if (live_[u]) return;
+  note_churn(u);
   positions_[u] = p;
   if (position_dependent_gain_) {
     ++pos_epoch_[u];

@@ -94,6 +94,21 @@ class live_neighbor_index {
   [[nodiscard]] std::uint64_t gain_lookups() const { return gain_lookups_; }
   [[nodiscard]] std::uint64_t gain_misses() const { return gain_misses_; }
 
+  /// Per-region churn telemetry for the partitioned dynamic engine:
+  /// once a region map is installed (one region id per node; the
+  /// engine keeps it in sync as nodes migrate), every index mutation —
+  /// live move, erase, insert — is counted against the node's current
+  /// region, so tests and benches can see where the field actually
+  /// churned.
+  void set_region_map(std::vector<std::uint32_t> map, std::uint32_t regions) {
+    region_map_ = std::move(map);
+    region_churn_.assign(regions, 0);
+  }
+  void set_node_region(node_id u, std::uint32_t region) {
+    if (u < region_map_.size()) region_map_[u] = region;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& region_churn() const { return region_churn_; }
+
  private:
   /// Shared constructor body: populates the grid and links every
   /// reachable pair exactly once (query before insert).
@@ -146,6 +161,11 @@ class live_neighbor_index {
   std::vector<std::vector<node_id>> adj_;  // sorted, live endpoints only
   edge_observer observer_;
   node_observer node_observer_;
+  void note_churn(node_id u) {
+    if (u < region_map_.size()) ++region_churn_[region_map_[u]];
+  }
+  std::vector<std::uint32_t> region_map_;
+  std::vector<std::uint64_t> region_churn_;
   std::vector<geom::point_index> scratch_;
 };
 

@@ -33,11 +33,12 @@ void cbtc_agent::next_round() {
   for (std::uint32_t i = 0; i < std::max<std::uint32_t>(1, cfg_.retries_per_level); ++i) {
     const double stagger = cfg_.round_timeout * 0.5 * static_cast<double>(i) /
                            std::max<std::uint32_t>(1, cfg_.retries_per_level);
-    medium_.sim().schedule_in(stagger, [this, this_round] {
+    medium_.schedule_self(self_, stagger, [this, this_round] {
       medium_.broadcast(self_, power_, message{hello_msg{self_, power_, this_round}});
     });
   }
-  medium_.sim().schedule_in(cfg_.round_timeout, [this, this_round] { evaluate_round(this_round); });
+  medium_.schedule_self(self_, cfg_.round_timeout,
+                        [this, this_round] { evaluate_round(this_round); });
 }
 
 void cbtc_agent::evaluate_round(std::uint32_t round) {

@@ -13,7 +13,7 @@ ndp_agent::ndp_agent(sim::medium& m, node_id self, const ndp_config& cfg,
 
 void ndp_agent::start(sim::time_point until) {
   const double first = cfg_.beacon_interval * cfg_.phase_offset;
-  medium_.sim().schedule_in(first, [this, until] { tick(until); });
+  medium_.schedule_self(self_, first, [this, until] { tick(until); });
 }
 
 void ndp_agent::tick(sim::time_point until) {
@@ -26,7 +26,7 @@ void ndp_agent::tick(sim::time_point until) {
     sweep();
   }
   if (medium_.sim().now() + cfg_.beacon_interval <= until) {
-    medium_.sim().schedule_in(cfg_.beacon_interval, [this, until] { tick(until); });
+    medium_.schedule_self(self_, cfg_.beacon_interval, [this, until] { tick(until); });
   }
 }
 

@@ -4,7 +4,7 @@
 
 namespace cbtc::sim {
 
-medium::medium(simulator& sim, radio::link_model lm, radio::channel ch,
+medium::medium(scheduler& sim, radio::link_model lm, radio::channel ch,
                radio::direction_estimator de)
     : sim_(sim), link_(std::move(lm)), channel_(std::move(ch)), direction_(std::move(de)) {}
 
@@ -14,44 +14,53 @@ node_id medium::add_node(const geom::vec2& position, rx_handler handler) {
   handlers_.push_back(std::move(handler));
   up_.push_back(true);
   node_energy_.push_back(0.0);
+  node_tx_seq_.push_back(0);
   return id;
 }
 
 void medium::broadcast(node_id from, double tx_power, std::any payload) {
   if (!up_[from]) return;
-  ++stats_.broadcasts;
-  stats_.tx_energy += tx_power;
+  broadcasts_.fetch_add(1, std::memory_order_relaxed);
   node_energy_[from] += tx_power;
+  const std::uint64_t tx_seq = node_tx_seq_[from]++;
   const geom::vec2 origin = positions_[from];
-  for (node_id to = 0; to < positions_.size(); ++to) {
-    if (to == from || !up_[to]) continue;
+  const auto try_deliver = [&](node_id to) {
+    if (to == from || !up_[to]) return;
     const double d = geom::distance(origin, positions_[to]);
-    if (!link_.reaches_at(tx_power, d, from, to, origin, positions_[to])) continue;
-    deliver(from, to, tx_power, d, payload);
+    if (!link_.reaches_at(tx_power, d, from, to, origin, positions_[to])) return;
+    deliver(from, to, tx_power, tx_seq, d, payload);
+  };
+  if (directory_) {
+    // Directory candidates come sorted ascending, so delivery order
+    // matches the full scan's to = 0..n sweep exactly.
+    for (const node_id to : directory_(from)) try_deliver(to);
+  } else {
+    for (node_id to = 0; to < positions_.size(); ++to) try_deliver(to);
   }
 }
 
 void medium::unicast(node_id from, node_id to, double tx_power, std::any payload) {
   if (!up_[from]) return;
-  ++stats_.unicasts;
-  stats_.tx_energy += tx_power;
+  unicasts_.fetch_add(1, std::memory_order_relaxed);
   node_energy_[from] += tx_power;
+  const std::uint64_t tx_seq = node_tx_seq_[from]++;
   if (to >= positions_.size() || !up_[to]) return;
   const double d = geom::distance(positions_[from], positions_[to]);
   if (!link_.reaches_at(tx_power, d, from, to, positions_[from], positions_[to])) {
     return;  // out of range: radio silence
   }
-  deliver(from, to, tx_power, d, payload);
+  deliver(from, to, tx_power, tx_seq, d, payload);
 }
 
-void medium::deliver(node_id from, node_id to, double tx_power, double distance,
-                     const std::any& payload) {
+void medium::deliver(node_id from, node_id to, double tx_power, std::uint64_t tx_seq,
+                     double distance, const std::any& payload) {
   const std::vector<double> delays = channel_.sample_deliveries(distance);
   if (delays.empty()) {
-    ++stats_.drops;
+    drops_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  for (double delay : delays) {
+  std::uint32_t copy = 0;
+  for (const double delay : delays) {
     rx_info info;
     info.sender = from;
     info.tx_power = tx_power;
@@ -61,13 +70,26 @@ void medium::deliver(node_id from, node_id to, double tx_power, double distance,
     info.rx_power = link_.rx_power_at(tx_power, distance, from, to, positions_[from],
                                       positions_[to]);
     info.direction = direction_.measure(positions_[to], positions_[from]);
-    sim_.schedule_in(delay, [this, to, info, payload]() mutable {
-      if (!up_[to]) return;  // crashed while the message was in flight
-      info.time = sim_.now();
-      ++stats_.deliveries;
-      if (handlers_[to]) handlers_[to](info, payload);
-    });
+    sim_.schedule_delivery(sim_.now() + delay, to, from, tx_seq, copy++,
+                           [this, to, info, payload]() mutable {
+                             if (!up_[to]) return;  // crashed while in flight
+                             info.time = sim_.now();
+                             deliveries_.fetch_add(1, std::memory_order_relaxed);
+                             if (handlers_[to]) handlers_[to](info, payload);
+                           });
   }
+}
+
+medium_stats medium::stats() const {
+  medium_stats s;
+  s.broadcasts = broadcasts_.load(std::memory_order_relaxed);
+  s.unicasts = unicasts_.load(std::memory_order_relaxed);
+  s.deliveries = deliveries_.load(std::memory_order_relaxed);
+  s.drops = drops_.load(std::memory_order_relaxed);
+  double energy = 0.0;
+  for (const double e : node_energy_) energy += e;
+  s.tx_energy = energy;
+  return s;
 }
 
 }  // namespace cbtc::sim

@@ -11,11 +11,21 @@
 // node neither transmits nor receives. Message loss / duplication /
 // latency come from the radio::channel. Positions may change between
 // events (mobility); range membership is evaluated at transmit time.
+//
+// The medium schedules through the sim::scheduler interface with typed
+// events (timers via schedule_self, deliveries via schedule_delivery
+// with per-sender transmission counters), so the same protocol stack
+// runs on the serial simulator and the partitioned engine. Transmit /
+// delivery counters are relaxed atomics — their sums are independent
+// of event interleaving — and stats() folds per-node energy in node
+// order, so reported totals are bitwise engine-independent.
 #pragma once
 
 #include <any>
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "geom/vec2.h"
@@ -24,7 +34,7 @@
 #include "radio/direction.h"
 #include "radio/power_model.h"
 #include "radio/propagation.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 
 namespace cbtc::sim {
 
@@ -55,7 +65,7 @@ class medium {
   /// `lm` carries the power model plus the per-link propagation; a
   /// bare radio::power_model converts implicitly (isotropic gains,
   /// bitwise-identical delivery decisions).
-  medium(simulator& sim, radio::link_model lm, radio::channel ch = radio::channel{},
+  medium(scheduler& sim, radio::link_model lm, radio::channel ch = radio::channel{},
          radio::direction_estimator de = radio::direction_estimator{});
 
   /// Registers a node; returns its id (dense, starting at 0).
@@ -78,12 +88,27 @@ class medium {
   void set_move_hook(move_hook h) { move_hook_ = std::move(h); }
   void set_liveness_hook(liveness_hook h) { liveness_hook_ = std::move(h); }
 
+  /// Optional broadcast routing directory: returns, for a sender, an
+  /// ascending-id superset of every node any transmit power can reach
+  /// (e.g. live_neighbor_index::neighbors — the live max-power
+  /// neighborhood). The per-candidate range check still applies, so
+  /// deliveries are bitwise-identical to the full O(n) scan, just
+  /// O(degree). Cleared with an empty function.
+  using broadcast_directory = std::function<std::span<const node_id>(node_id)>;
+  void set_broadcast_directory(broadcast_directory d) { directory_ = std::move(d); }
+
   /// bcast(u, p, m): schedules delivery to every live node in range.
   void broadcast(node_id from, double tx_power, std::any payload);
 
   /// send(u, p, m, v): schedules point-to-point delivery (silently
   /// undeliverable if v is out of range — the radio cannot know).
   void unicast(node_id from, node_id to, double tx_power, std::any payload);
+
+  /// Schedules a class-1 timer event owned by `owner` — the one safe
+  /// way for protocol code to self-schedule on either engine.
+  void schedule_self(node_id owner, time_point delay, scheduler::action fn) {
+    sim_.schedule_node(sim_.now() + delay, owner, std::move(fn));
+  }
 
   /// Crash / recover (Section 4 failure model).
   void crash(node_id u) {
@@ -100,16 +125,18 @@ class medium {
 
   [[nodiscard]] const radio::power_model& power() const { return link_.power(); }
   [[nodiscard]] const radio::link_model& link() const { return link_; }
-  [[nodiscard]] const medium_stats& stats() const { return stats_; }
+  /// Materialized counters; tx_energy = sum of per-node energies in
+  /// node order (engine-independent by construction).
+  [[nodiscard]] medium_stats stats() const;
   /// Cumulative transmit energy spent by one node (sum of tx powers).
   [[nodiscard]] double tx_energy(node_id u) const { return node_energy_[u]; }
-  [[nodiscard]] simulator& sim() { return sim_; }
+  [[nodiscard]] scheduler& sim() { return sim_; }
 
  private:
-  void deliver(node_id from, node_id to, double tx_power, double distance,
+  void deliver(node_id from, node_id to, double tx_power, std::uint64_t tx_seq, double distance,
                const std::any& payload);
 
-  simulator& sim_;
+  scheduler& sim_;
   radio::link_model link_;
   radio::channel channel_;
   radio::direction_estimator direction_;
@@ -117,7 +144,12 @@ class medium {
   std::vector<rx_handler> handlers_;
   std::vector<bool> up_;
   std::vector<double> node_energy_;
-  medium_stats stats_;
+  std::vector<std::uint64_t> node_tx_seq_;
+  std::atomic<std::uint64_t> broadcasts_{0};
+  std::atomic<std::uint64_t> unicasts_{0};
+  std::atomic<std::uint64_t> deliveries_{0};
+  std::atomic<std::uint64_t> drops_{0};
+  broadcast_directory directory_;
   move_hook move_hook_;
   liveness_hook liveness_hook_;
 };

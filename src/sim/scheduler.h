@@ -1,0 +1,105 @@
+// Event-scheduling interface shared by the serial simulator and the
+// spatially partitioned engine, plus the canonical event key that
+// makes the two bitwise-interchangeable.
+//
+// Every event carries a key (time, class, a, b, seq, copy) that is
+// unique across the whole run:
+//
+//   class 0 — global events (mobility steps, crash/restart, engine
+//             arming): a = b = 0, seq = a global monotone counter.
+//   class 1 — node timer events (beacon ticks, round timeouts,
+//             retry staggers): a = owning node, seq = that node's
+//             monotone timer counter.
+//   class 2 — message deliveries: a = receiver, b = sender, seq = the
+//             sender's transmission counter (assigned once per
+//             broadcast/unicast call), copy = duplicate index when the
+//             channel delivers one transmission more than once.
+//
+// Keys totally order all events (class 0 < 1 < 2 at equal times), so
+// heap insertion order never affects pop order.  The partitioned
+// engine executes, per instant, each region's slice of this one total
+// order; a node's events therefore run in exactly the order the
+// single-queue simulator would run them, which is what makes reports —
+// including per-node floating-point energy folds — bitwise-identical
+// at any region count and any thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "graph/types.h"
+
+namespace cbtc::sim {
+
+/// Virtual time, in abstract "seconds".
+using time_point = double;
+
+/// Canonical event ordering key; unique per event (see header comment).
+struct event_key {
+  time_point t{0.0};
+  std::uint8_t cls{0};
+  graph::node_id a{0};
+  graph::node_id b{0};
+  std::uint64_t seq{0};
+  std::uint32_t copy{0};
+
+  friend bool operator<(const event_key& x, const event_key& y) {
+    if (x.t != y.t) return x.t < y.t;
+    if (x.cls != y.cls) return x.cls < y.cls;
+    if (x.a != y.a) return x.a < y.a;
+    if (x.b != y.b) return x.b < y.b;
+    if (x.seq != y.seq) return x.seq < y.seq;
+    return x.copy < y.copy;
+  }
+};
+
+/// Abstract scheduler: the medium, the protocol agents, mobility and
+/// failure injection all talk to this, so one protocol stack runs
+/// unchanged on either engine.
+class scheduler {
+ public:
+  using action = std::function<void()>;
+
+  virtual ~scheduler() = default;
+
+  /// Current virtual time.
+  [[nodiscard]] virtual time_point now() const = 0;
+
+  /// Schedules a class-0 (global) event at absolute time `t` (clamped
+  /// to now()).  Global events mutate shared state (positions,
+  /// liveness); the partitioned engine runs them serially, so they
+  /// must never be scheduled from inside a delivery or timer handler.
+  virtual void schedule_at(time_point t, action fn) = 0;
+
+  /// Schedules a class-0 event `delay` from now.
+  void schedule_in(time_point delay, action fn) { schedule_at(now() + delay, std::move(fn)); }
+
+  /// Schedules a class-1 timer event owned by `owner` (clamped to
+  /// now()).  Safe to call from `owner`'s own handlers.
+  virtual void schedule_node(time_point t, graph::node_id owner, action fn) = 0;
+
+  /// Schedules a class-2 delivery event.  `tx_seq` is the sender's
+  /// transmission counter, `copy` disambiguates channel duplicates.
+  virtual void schedule_delivery(time_point t, graph::node_id to, graph::node_id from,
+                                 std::uint64_t tx_seq, std::uint32_t copy, action fn) = 0;
+
+  /// Runs all events with time <= `t`, then advances the clock to `t`.
+  /// Returns the number of events processed.
+  virtual std::size_t run_until(time_point t) = 0;
+
+  /// End-of-instant hook: `fn` runs (serially) once for every instant
+  /// during which request_instant_hook() was called, after all of that
+  /// instant's events have executed.  The dynamic engine uses it for
+  /// connectivity evaluations, which thereby observe settled instants.
+  virtual void set_instant_hook(action fn) = 0;
+
+  /// Requests the instant hook for the current instant.  Safe to call
+  /// from any event handler, including inside a parallel region phase.
+  virtual void request_instant_hook() = 0;
+
+  [[nodiscard]] virtual std::size_t events_processed() const = 0;
+};
+
+}  // namespace cbtc::sim

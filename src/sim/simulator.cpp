@@ -4,36 +4,73 @@
 
 namespace cbtc::sim {
 
-void simulator::schedule_at(time_point t, action fn) {
+event_key simulator::make_key(time_point t, std::uint8_t cls, graph::node_id a, graph::node_id b,
+                              std::uint64_t seq, std::uint32_t copy) {
   if (t < now_) t = now_;
-  queue_.push({t, next_seq_++, std::move(fn)});
+  if (ties_ == tie_policy::fifo) {
+    // Degenerate key: (t, global scheduling order) — the historical
+    // FIFO comparator, whatever the event's type.
+    return event_key{t, 0, 0, 0, global_seq_++, 0};
+  }
+  return event_key{t, cls, a, b, seq, copy};
+}
+
+void simulator::schedule_at(time_point t, action fn) {
+  const std::uint64_t seq = ties_ == tie_policy::canonical ? global_seq_++ : 0;
+  queue_.push({make_key(t, 0, 0, 0, seq, 0), std::move(fn)});
+}
+
+void simulator::schedule_node(time_point t, graph::node_id owner, action fn) {
+  std::uint64_t seq = 0;
+  if (ties_ == tie_policy::canonical) {
+    if (owner >= node_seq_.size()) node_seq_.resize(owner + 1, 0);
+    seq = node_seq_[owner]++;
+  }
+  queue_.push({make_key(t, 1, owner, 0, seq, 0), std::move(fn)});
+}
+
+void simulator::schedule_delivery(time_point t, graph::node_id to, graph::node_id from,
+                                  std::uint64_t tx_seq, std::uint32_t copy, action fn) {
+  queue_.push({make_key(t, 2, to, from, tx_seq, copy), std::move(fn)});
+}
+
+void simulator::pop_run_top() {
+  // priority_queue::top returns const&; the action must be moved out
+  // before pop, so copy the metadata and move the closure.
+  event ev = std::move(const_cast<event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.key.t;
+  ++processed_;
+  ev.fn();
+}
+
+void simulator::fire_instant_hook_if_due() {
+  // The instant at now_ is settled once no pending event shares it.
+  while (hook_requested_ && (queue_.empty() || queue_.top().key.t > now_)) {
+    hook_requested_ = false;
+    if (!instant_hook_) break;
+    instant_hook_();
+  }
 }
 
 std::size_t simulator::run(std::size_t max_events) {
   std::size_t count = 0;
   while (!queue_.empty() && count < max_events) {
-    // priority_queue::top returns const&; the action must be moved out
-    // before pop, so copy the metadata and move the closure.
-    event ev = std::move(const_cast<event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.t;
+    pop_run_top();
     ++count;
-    ++processed_;
-    ev.fn();
+    fire_instant_hook_if_due();
   }
   return count;
 }
 
 std::size_t simulator::run_until(time_point t) {
   std::size_t count = 0;
-  while (!queue_.empty() && queue_.top().t <= t) {
-    event ev = std::move(const_cast<event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.t;
+  while (!queue_.empty() && queue_.top().key.t <= t) {
+    pop_run_top();
     ++count;
-    ++processed_;
-    ev.fn();
+    fire_instant_hook_if_due();
   }
+  fire_instant_hook_if_due();
   if (now_ < t) now_ = t;
   return count;
 }

@@ -1,35 +1,44 @@
 // Discrete-event simulator core.
 //
-// A minimal, deterministic event loop: events are (time, sequence)
-// ordered callbacks on a virtual clock. The paper's synchronous rounds
-// (Section 2) are realized by deadlines on this loop; its asynchronous
-// model (Section 4) by unbounded-but-finite random delays injected at
-// the channel layer.
+// A minimal, deterministic event loop: events are key-ordered
+// callbacks on a virtual clock (sim/scheduler.h). The paper's
+// synchronous rounds (Section 2) are realized by deadlines on this
+// loop; its asynchronous model (Section 4) by unbounded-but-finite
+// random delays injected at the channel layer.
+//
+// Two tie policies at equal times:
+//   * fifo (default) — every schedule call, whatever its type, gets
+//     the next global sequence number, so ties run in scheduling
+//     order. Byte-identical to the historical behavior; the static
+//     protocol runner stays on this.
+//   * canonical — typed keys (global < node timer < delivery, then
+//     ids / per-node counters). This is the one total order the
+//     partitioned engine reproduces region-by-region, so the dynamic
+//     engine uses canonical mode for its single-queue reference path.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
+#include <utility>
 #include <vector>
+
+#include "sim/scheduler.h"
 
 namespace cbtc::sim {
 
-/// Virtual time, in abstract "seconds".
-using time_point = double;
+enum class tie_policy { fifo, canonical };
 
-class simulator {
+class simulator final : public scheduler {
  public:
-  using action = std::function<void()>;
+  explicit simulator(tie_policy ties = tie_policy::fifo) : ties_(ties) {}
 
-  /// Current virtual time.
-  [[nodiscard]] time_point now() const { return now_; }
+  [[nodiscard]] time_point now() const override { return now_; }
 
   /// Schedules `fn` to run at absolute time `t` (clamped to now()).
-  /// Events at equal times run in scheduling order (FIFO).
-  void schedule_at(time_point t, action fn);
-
-  /// Schedules `fn` to run `delay` from now.
-  void schedule_in(time_point delay, action fn) { schedule_at(now_ + delay, std::move(fn)); }
+  void schedule_at(time_point t, action fn) override;
+  void schedule_node(time_point t, graph::node_id owner, action fn) override;
+  void schedule_delivery(time_point t, graph::node_id to, graph::node_id from,
+                         std::uint64_t tx_seq, std::uint32_t copy, action fn) override;
 
   /// Runs until the queue is empty or `max_events` have been processed.
   /// Returns the number of events processed.
@@ -37,28 +46,37 @@ class simulator {
 
   /// Runs events with time <= `t`, then advances the clock to `t`.
   /// Returns the number of events processed.
-  std::size_t run_until(time_point t);
+  std::size_t run_until(time_point t) override;
+
+  void set_instant_hook(action fn) override { instant_hook_ = std::move(fn); }
+  void request_instant_hook() override { hook_requested_ = true; }
 
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
-  [[nodiscard]] std::size_t events_processed() const { return processed_; }
+  [[nodiscard]] std::size_t events_processed() const override { return processed_; }
 
  private:
   struct event {
-    time_point t;
-    std::uint64_t seq;
+    event_key key;
     action fn;
   };
   struct later {
-    bool operator()(const event& a, const event& b) const {
-      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
-    }
+    bool operator()(const event& a, const event& b) const { return b.key < a.key; }
   };
 
+  event_key make_key(time_point t, std::uint8_t cls, graph::node_id a, graph::node_id b,
+                     std::uint64_t seq, std::uint32_t copy);
+  void pop_run_top();
+  void fire_instant_hook_if_due();
+
   std::priority_queue<event, std::vector<event>, later> queue_;
+  tie_policy ties_;
   time_point now_{0.0};
-  std::uint64_t next_seq_{0};
+  std::uint64_t global_seq_{0};
+  std::vector<std::uint64_t> node_seq_;
   std::size_t processed_{0};
+  bool hook_requested_{false};
+  action instant_hook_;
 };
 
 }  // namespace cbtc::sim

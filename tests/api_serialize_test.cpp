@@ -57,6 +57,7 @@ scenario_file busy_file() {
                   .start = 10.0,
                   .until = 80.0};
   dyn.mirror_agent_tables = false;  // non-default: must survive the trip
+  dyn.partition = {.regions = 9, .min_nodes = 2048};
   dyn.failures.random_crashes = 6;
   dyn.failures.window_begin = 15.0;
   dyn.failures.window_end = 45.0;
@@ -115,6 +116,8 @@ TEST(ApiSerialize, RoundTripPreservesEveryField) {
   EXPECT_DOUBLE_EQ(x.settle, y.settle);
   EXPECT_DOUBLE_EQ(x.sample_every, y.sample_every);
   EXPECT_EQ(x.mirror_agent_tables, y.mirror_agent_tables);
+  EXPECT_EQ(x.partition.regions, y.partition.regions);
+  EXPECT_EQ(x.partition.min_nodes, y.partition.min_nodes);
   EXPECT_DOUBLE_EQ(x.beacons.interval, y.beacons.interval);
   EXPECT_EQ(x.beacons.miss_limit, y.beacons.miss_limit);
   EXPECT_DOUBLE_EQ(x.beacons.achange_threshold, y.beacons.achange_threshold);
@@ -187,6 +190,13 @@ TEST(ApiSerialize, MalformedInputFailsLoudly) {
                std::invalid_argument);
   EXPECT_THROW(
       parse_scenario_json(R"({"scenario": {}, "sim": {"beacons": {"miss_limit": 2.5}}})"),
+      std::invalid_argument);
+  // Unknown or fractional partition knobs fail loudly too.
+  EXPECT_THROW(
+      parse_scenario_json(R"({"scenario": {}, "sim": {"partition": {"lanes": 4}}})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_scenario_json(R"({"scenario": {}, "sim": {"partition": {"regions": 4.5}}})"),
       std::invalid_argument);
   // Positions without kind "fixed" would silently run a different
   // network than the file describes.
@@ -290,6 +300,8 @@ TEST(ApiSerialize, RandomSpecsRoundTripIdempotently) {
       dyn.horizon = pick_double(1.0, 500.0);
       dyn.settle = pick_double(0.0, 50.0);
       dyn.mirror_agent_tables = rng() % 2 == 0;
+      dyn.partition.regions = static_cast<std::uint32_t>(rng() % 17);
+      dyn.partition.min_nodes = rng() % 10000;
       dyn.mobility.kind = static_cast<mobility_kind>(rng() % 3);
       dyn.mobility.max_speed = pick_double(0.0, 20.0);
       dyn.failures.random_crashes = rng() % 10;

@@ -118,6 +118,7 @@ int usage() {
       "  compare   --in FILE.csv [--range R] [--exponent N]\n"
       "  sweep     --scenario NAME | --file SCENARIO.json\n"
       "            [--seeds N] [--first N] [--threads T] [--intra-threads T]\n"
+      "            [--regions R]  (dynamic: event-engine region count, 0 = auto)\n"
       "            (both thread knobs share one process-wide pool: T x T\n"
       "             nests via work-stealing, it never multiplies threads)\n"
       "            [--method oracle|protocol|mst|rng|gabriel|yao|knn|max-power]\n"
@@ -404,6 +405,13 @@ sweep_setup resolve_sweep(const cli_args& args) {
   if (args.options.contains("intra-threads")) {
     spec.cbtc.intra_threads =
         static_cast<unsigned>(args.count("intra-threads", spec.cbtc.intra_threads));
+  }
+  if (args.options.contains("regions")) {
+    if (!sim) {
+      throw usage_error("--regions applies to dynamic scenarios only "
+                        "(pick a dynamic preset or a JSON file with a sim block)");
+    }
+    sim->partition.regions = static_cast<std::uint32_t>(args.count("regions", 0));
   }
   return {std::move(spec), sim};
 }
