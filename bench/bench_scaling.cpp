@@ -6,9 +6,10 @@
 // the remaining micro-benchmarks time the geometric substrate the
 // engine is built on. Constant density is maintained by growing the
 // region with the node count.
-// Results are also written to BENCH_scaling.json (google-benchmark's
-// JSON format) unless --benchmark_out is given explicitly, so CI and
-// scripts get machine-readable numbers for free.
+// A machine-readable JSON record (google-benchmark's format) is
+// written only when asked: pass `--out PATH` (or the standard
+// --benchmark_out flags). Runs without an output flag leave no file
+// behind.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -412,6 +413,29 @@ void BM_DynamicCaptureFull(benchmark::State& state) { run_dynamic_capture(state,
 BENCHMARK(BM_DynamicCaptureMirror)->Arg(150)->Arg(600)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DynamicCaptureFull)->Arg(150)->Arg(600)->Unit(benchmark::kMillisecond);
 
+// -- convergecast data plane: traffic on vs off -----------------------
+
+/// The registered convergecast preset (64-node lattice streaming
+/// periodic readings to a corner sink) with and without the traffic
+/// layer. The Base row runs the identical dynamic simulation minus
+/// traffic, so the machine-independent gate is the Tick/Base *ratio*:
+/// the packet layer (routing refreshes, queueing, per-hop forwarding)
+/// must stay a bounded fraction on top of the protocol simulation, not
+/// dominate it.
+void run_convergecast(benchmark::State& state, bool traffic_on) {
+  api::dynamic_scenario preset = api::get_dynamic_scenario("convergecast_grid");
+  preset.scenario.deploy.nodes = static_cast<std::size_t>(state.range(0));
+  if (!traffic_on) preset.sim.traffic = {};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.run_dynamic(preset.scenario, preset.sim, 0));
+  }
+}
+
+void BM_ConvergecastTick(benchmark::State& state) { run_convergecast(state, true); }
+void BM_ConvergecastBase(benchmark::State& state) { run_convergecast(state, false); }
+BENCHMARK(BM_ConvergecastTick)->Arg(64)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ConvergecastBase)->Arg(64)->Unit(benchmark::kMillisecond);
+
 // -- partitioned dynamic engine: single queue vs regioned lanes -------
 
 /// The 100k-node mobile-churn acceptance row for the spatially
@@ -497,34 +521,27 @@ BENCHMARK(BM_SpatialGridQuery);
 
 }  // namespace
 
-/// BENCHMARK_MAIN with two additions: an explicit `--out PATH` (or
-/// `--out=PATH`) flag for the JSON record — so callers like CI never
-/// depend on the process cwd — and a default of BENCH_scaling.json in
-/// the cwd when neither --out nor --benchmark_out is given, so every
-/// run leaves a machine-readable record.
+/// BENCHMARK_MAIN with one addition: an explicit `--out PATH` (or
+/// `--out=PATH`) flag for the JSON record — shorthand for
+/// --benchmark_out=PATH --benchmark_out_format=json, so callers like
+/// CI never depend on the process cwd. Without an output flag the run
+/// writes no file (no more stray BENCH_scaling.json in the cwd).
 int main(int argc, char** argv) {
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc) + 2);
-  std::string out_path = "BENCH_scaling.json";
-  bool has_out = false;
+  std::string out_path;
   for (int i = 0; i < argc; ++i) {
     if (i > 0 && std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
     } else if (i > 0 && std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
-      // Exact flag only: --benchmark_out_format alone must not
-      // suppress the default output file.
-      if (i > 0 && (std::strncmp(argv[i], "--benchmark_out=", 16) == 0 ||
-                    std::strcmp(argv[i], "--benchmark_out") == 0)) {
-        has_out = true;
-      }
       args.push_back(argv[i]);
     }
   }
   std::string out_flag = "--benchmark_out=" + out_path;
   std::string fmt_flag = "--benchmark_out_format=json";
-  if (!has_out) {
+  if (!out_path.empty()) {
     args.push_back(out_flag.data());
     args.push_back(fmt_flag.data());
   }

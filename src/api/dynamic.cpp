@@ -31,6 +31,7 @@
 #include "sim/mobility.h"
 #include "sim/partition.h"
 #include "sim/simulator.h"
+#include "sim/traffic.h"
 #include "util/parallel.h"
 
 namespace cbtc::api {
@@ -323,7 +324,15 @@ dynamic_report engine::run_dynamic(const scenario_spec& spec, const sim_spec& si
     track(simulator.now(), graph::same_connectivity(s.topology, s.gr, pool, scratch),
           field_monitor.connected());
   };
+  // Convergecast data plane (declared before the hooks that mark its
+  // routes stale; constructed after the agents exist, below).
+  std::unique_ptr<sim::convergecast> traffic;
+
   const auto note_change = [&] {
+    // The traffic plane's next-hop tables follow the same deltas the
+    // connectivity tracker watches; marking is a relaxed atomic store,
+    // safe from parallel region phases.
+    if (traffic) traffic->mark_routes_stale();
     // `tracking` only flips between run_until calls, so the unguarded
     // read from parallel region phases is race-free.
     if (!tracking) return;
@@ -335,7 +344,9 @@ dynamic_report engine::run_dynamic(const scenario_spec& spec, const sim_spec& si
     // Mobility steps are class-0 (serial) events, so the index mutates
     // before any handler of the instant runs — and a move that changed
     // no edge (version unchanged) cannot change connectivity, so it
-    // requests no evaluation at all.
+    // requests no evaluation at all. Hop powers do drift with every
+    // move, though, so the traffic routes always go stale.
+    if (traffic) traffic->mark_routes_stale();
     const std::uint64_t before = index.version();
     index.move(u, p);
     if (index.version() != before) note_change();
@@ -357,6 +368,63 @@ dynamic_report engine::run_dynamic(const scenario_spec& spec, const sim_spec& si
     note_change();  // the live set itself changed
   });
   for (auto& a : agents) a->set_change_hook(note_change);
+
+  // Convergecast data plane: wraps the agents' handlers (foreign
+  // payloads pass through), draws no randomness (the engine-selection
+  // gate above is unaffected), and reads the closure topology only
+  // from class-0 refresh events — the mirror path enumerates live
+  // neighbors in place; the reference path snapshots the agents'
+  // tables once per recompute. Periods are clamped up to the channel
+  // base delay so every self-scheduled timer respects the partitioned
+  // engine's lookahead.
+  if (sim_cfg.traffic.enabled() && positions.size() > 1) {
+    sim::convergecast_config tc;
+    tc.sink = sim_cfg.traffic.sink < positions.size() ? sim_cfg.traffic.sink : 0;
+    const double lead = std::max(0.0, spec.protocol.channel.base_delay);
+    tc.period = std::max(sim_cfg.traffic.period, lead);
+    tc.start = std::min(sim_cfg.traffic.start > 0.0 ? sim_cfg.traffic.start
+                                                    : std::min(sim_cfg.settle, sim_cfg.horizon),
+                        sim_cfg.horizon);
+    tc.until =
+        sim_cfg.traffic.until > 0.0 ? std::min(sim_cfg.traffic.until, sim_cfg.horizon)
+                                    : sim_cfg.horizon;
+    tc.horizon = sim_cfg.horizon;
+    tc.service_time = std::max(sim_cfg.traffic.service_time, lead);
+    tc.route_refresh = std::max(sim_cfg.traffic.route_refresh, lead);
+    tc.queue_capacity = std::max<std::size_t>(1, sim_cfg.traffic.queue_capacity);
+    sim::convergecast::neighbor_fn neighbors;
+    std::function<void()> prepare;
+    if (mirror) {
+      neighbors = [m = mirror.get()](graph::node_id u,
+                                     const std::function<void(graph::node_id)>& fn) {
+        m->for_each_live_neighbor(u, fn);
+      };
+    } else {
+      // Reference path: snapshot the agents' closure right before each
+      // recompute; down nodes end up isolated, matching the mirror.
+      auto snapshot = std::make_shared<graph::undirected_graph>(positions.size());
+      neighbors = [snapshot](graph::node_id u,
+                             const std::function<void(graph::node_id)>& fn) {
+        for (graph::node_id v : snapshot->neighbors(u)) fn(v);
+      };
+      prepare = [snapshot, &index, &agents] {
+        *snapshot = graph::undirected_graph(agents.size());
+        for (graph::node_id u = 0; u < agents.size(); ++u) {
+          if (!index.is_live(u)) continue;
+          for (const auto& [v, info] : agents[u]->cbtc().neighbors()) {
+            if (index.is_live(v)) snapshot->add_edge(u, v);
+          }
+        }
+      };
+    }
+    traffic = std::make_unique<sim::convergecast>(
+        medium, tc, std::move(neighbors),
+        [&link, &medium](graph::node_id tx, graph::node_id rx) {
+          return link.required_power(tx, rx, medium.position(tx), medium.position(rx));
+        });
+    if (prepare) traffic->set_refresh_prepare(std::move(prepare));
+    traffic->start();
+  }
 
   for (auto& a : agents) a->start(sim_cfg.horizon);
 
@@ -454,6 +522,34 @@ dynamic_report engine::run_dynamic(const scenario_spec& spec, const sim_spec& si
     r.beacons += a->ndp().beacons_sent();
   }
   r.channel = medium.stats();
+
+  if (traffic) {
+    traffic->finish();
+    const sim::convergecast_stats& ts = traffic->stats();
+    traffic_report& tr = r.traffic;
+    tr.enabled = true;
+    tr.generated = ts.generated;
+    tr.delivered = ts.delivered;
+    tr.forwards = ts.forwards;
+    tr.queue_drops = ts.queue_drops;
+    tr.no_route_drops = ts.no_route_drops;
+    tr.dead_drops = ts.dead_drops;
+    tr.lost_in_air = ts.lost_in_air;
+    tr.queued_at_end = ts.queued_at_end;
+    tr.route_refreshes = ts.route_refreshes;
+    tr.queue_peak = ts.queue_peak;
+    tr.delivery_ratio =
+        ts.generated == 0 ? 0.0
+                          : static_cast<double>(ts.delivered) / static_cast<double>(ts.generated);
+    const double window = sim_cfg.horizon - traffic->config().start;
+    tr.throughput = window > 0.0 ? static_cast<double>(ts.delivered) / window : 0.0;
+    tr.avg_delay =
+        ts.delivered == 0 ? 0.0 : ts.delay_sum / static_cast<double>(ts.delivered);
+    tr.forwarding_energy = ts.forwarding_energy;
+    tr.energy_mean = ts.energy_mean;
+    tr.energy_max = ts.energy_max;
+    tr.energy_stddev = ts.energy_stddev;
+  }
   return r;
 }
 
@@ -508,17 +604,85 @@ lifetime_report engine::run_lifetime(const scenario_spec& spec, const lifetime_s
   lifetime_report res;
   std::size_t deaths = 0;
   graph::undirected_graph live = topology;
+
+  // The historical plain-CBTC flows experiment keeps its exact
+  // arithmetic (hop-count routes via BFS); the policy paths below are
+  // additive, so old results stay bitwise-reproducible.
+  const bool adaptive = life.policy != lifetime_policy::plain_cbtc || life.convergecast;
+
+  // Adaptive machinery (Chu & Sethu): routes are chosen by residual-
+  // energy-weighted shortest paths — energy_balanced divides each
+  // hop's power cost by the transmitter's residual-charge fraction
+  // over the CBTC topology; cooperative_adaptation squares the
+  // penalty and routes over the full live G_R, so neighbors spend
+  // more transmit power on longer links to bypass depleted relays.
+  // Transmitters always *pay* the real link power; the weighting only
+  // biases path choice.
+  const graph::node_id sink = life.sink < n ? life.sink : 0;
+  graph::undirected_graph live_gr =
+      life.policy == lifetime_policy::cooperative_adaptation ? gr : graph::undirected_graph(0);
+  const auto residual = [&](graph::node_id u) { return std::max(charge[u] / battery, 1e-3); };
+  const auto route_weight = [&](graph::node_id tx, graph::node_id rx) {
+    const double base = cost(tx, rx);
+    switch (life.policy) {
+      case lifetime_policy::plain_cbtc:
+        return base;
+      case lifetime_policy::energy_balanced:
+        return base / residual(tx);
+      case lifetime_policy::cooperative_adaptation: {
+        const double f = residual(tx);
+        return base / (f * f);
+      }
+    }
+    return base;
+  };
+  const graph::undirected_graph& routing =
+      life.policy == lifetime_policy::cooperative_adaptation ? live_gr : live;
+  // dijkstra_tree invokes cost(settled, neighbor); the neighbor is the
+  // one transmitting toward the tree root, so it pays the weight.
+  const graph::edge_cost_fn toward_root = [&](graph::node_id u, graph::node_id v) {
+    return route_weight(v, u);
+  };
+
   for (std::size_t round = 1; round <= life.max_rounds; ++round) {
     for (graph::node_id u = 0; u < n; ++u) {
-      if (alive[u]) charge[u] -= beacon[u];
+      // A convergecast sink is mains-powered: it pays nothing and
+      // (having only mains drain) never dies.
+      if (alive[u] && !(life.convergecast && u == sink)) charge[u] -= beacon[u];
     }
-    for (std::size_t f = 0; f < life.flows; ++f) {
-      const auto s = static_cast<graph::node_id>(rng() % n);
-      const auto t = static_cast<graph::node_id>(rng() % n);
-      if (s == t || !alive[s] || !alive[t]) continue;
-      const auto path = graph::bfs_path(live, s, t);
-      for (std::size_t h = 0; h + 1 < path.size(); ++h) {
-        charge[path[h]] -= cost(path[h], path[h + 1]);
+    if (!adaptive) {
+      for (std::size_t f = 0; f < life.flows; ++f) {
+        const auto s = static_cast<graph::node_id>(rng() % n);
+        const auto t = static_cast<graph::node_id>(rng() % n);
+        if (s == t || !alive[s] || !alive[t]) continue;
+        const auto path = graph::bfs_path(live, s, t);
+        for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+          charge[path[h]] -= cost(path[h], path[h + 1]);
+        }
+      }
+    } else if (life.convergecast) {
+      // One reading from every live node to the sink along this
+      // round's policy tree; every relay pays the real power of its
+      // outgoing hop once per packet it forwards.
+      const auto tree = graph::dijkstra_tree(routing, sink, toward_root);
+      for (graph::node_id u = 0; u < n; ++u) {
+        if (!alive[u] || u == sink || tree.parent[u] == graph::invalid_node) continue;
+        for (graph::node_id h = u; h != sink; h = tree.parent[h]) {
+          charge[h] -= cost(h, tree.parent[h]);
+        }
+      }
+    } else {
+      // Same endpoint draws as the plain experiment, but routed by the
+      // policy's weighted shortest paths.
+      for (std::size_t f = 0; f < life.flows; ++f) {
+        const auto s = static_cast<graph::node_id>(rng() % n);
+        const auto t = static_cast<graph::node_id>(rng() % n);
+        if (s == t || !alive[s] || !alive[t]) continue;
+        const auto tree = graph::dijkstra_tree(routing, t, toward_root);
+        if (tree.parent[s] == graph::invalid_node) continue;
+        for (graph::node_id h = s; h != t; h = tree.parent[h]) {
+          charge[h] -= cost(h, tree.parent[h]);
+        }
       }
     }
     bool someone_died = false;
@@ -531,6 +695,11 @@ lifetime_report engine::run_lifetime(const scenario_spec& spec, const lifetime_s
         const std::vector<graph::node_id> nbrs(live.neighbors(u).begin(),
                                                live.neighbors(u).end());
         for (graph::node_id v : nbrs) live.remove_edge(u, v);
+        if (live_gr.num_nodes() > 0) {
+          const std::vector<graph::node_id> gnbrs(live_gr.neighbors(u).begin(),
+                                                  live_gr.neighbors(u).end());
+          for (graph::node_id v : gnbrs) live_gr.remove_edge(u, v);
+        }
       }
     }
     if (res.quarter_dead == 0.0 && deaths * 4 >= n) {
@@ -582,6 +751,19 @@ void dynamic_batch_report::accumulate(const dynamic_report& r) {
     final_degree.add(last.avg_degree);
     final_radius.add(last.avg_radius);
   }
+  if (r.traffic.enabled) {
+    ++traffic_runs;
+    traffic_generated.add(static_cast<double>(r.traffic.generated));
+    traffic_delivered.add(static_cast<double>(r.traffic.delivered));
+    traffic_delivery_ratio.add(r.traffic.delivery_ratio);
+    traffic_throughput.add(r.traffic.throughput);
+    traffic_delay.add(r.traffic.avg_delay);
+    traffic_energy.add(r.traffic.forwarding_energy);
+    traffic_energy_spread.add(r.traffic.energy_stddev);
+    traffic_drops.add(static_cast<double>(r.traffic.queue_drops + r.traffic.no_route_drops +
+                                          r.traffic.dead_drops));
+    traffic_queue_peak.add(static_cast<double>(r.traffic.queue_peak));
+  }
 }
 
 void dynamic_batch_report::merge(const dynamic_batch_report& other) {
@@ -611,6 +793,16 @@ void dynamic_batch_report::merge(const dynamic_batch_report& other) {
   final_degree.merge(other.final_degree);
   final_radius.merge(other.final_radius);
   live_nodes.merge(other.live_nodes);
+  traffic_runs += other.traffic_runs;
+  traffic_generated.merge(other.traffic_generated);
+  traffic_delivered.merge(other.traffic_delivered);
+  traffic_delivery_ratio.merge(other.traffic_delivery_ratio);
+  traffic_throughput.merge(other.traffic_throughput);
+  traffic_delay.merge(other.traffic_delay);
+  traffic_energy.merge(other.traffic_energy);
+  traffic_energy_spread.merge(other.traffic_energy_spread);
+  traffic_drops.merge(other.traffic_drops);
+  traffic_queue_peak.merge(other.traffic_queue_peak);
 }
 
 dynamic_batch_report reduce(std::span<const dynamic_report> reports) {

@@ -236,6 +236,26 @@ std::map<std::string, dynamic_scenario, std::less<>> dynamic_built_ins() {
     d.sim.failures = {.random_crashes = 4, .window_begin = 15.0, .window_end = 35.0};
     put(std::move(d));
   }
+  {
+    // Sink-collection data plane over the controlled topology: a static
+    // lattice of sensors streams periodic readings to a corner sink
+    // (mirrors examples/scenarios/convergecast_grid.json).
+    dynamic_scenario d;
+    d.scenario = named("convergecast_grid");
+    d.scenario.deploy = {.kind = deployment_kind::grid,
+                         .nodes = 64,
+                         .region_side = 1200.0,
+                         .grid_jitter = 0.0};
+    d.scenario.method = method_spec::protocol();
+    d.scenario.cbtc.mode = algo::growth_mode::discrete;
+    d.scenario.protocol.agent.round_timeout = 0.25;
+    d.scenario.protocol.channel.base_delay = 0.01;
+    d.sim.horizon = 60.0;
+    d.sim.settle = 10.0;
+    d.sim.sample_every = 10.0;
+    d.sim.traffic = {.period = 2.0, .sink = 0, .start = 10.0};
+    put(std::move(d));
+  }
   return reg;
 }
 

@@ -134,6 +134,32 @@ struct dynamic_sample {
   bool field_connected{true};
 };
 
+/// Convergecast data-plane outcome of one dynamic run (sim/traffic.h):
+/// raw conservation counters plus the derived throughput / delivery /
+/// energy-spread metrics. For a channel that never duplicates,
+/// generated = delivered + queue_drops + no_route_drops + dead_drops +
+/// lost_in_air + queued_at_end (asserted in tests).
+struct traffic_report {
+  bool enabled{false};
+  std::uint64_t generated{0};
+  std::uint64_t delivered{0};
+  std::uint64_t forwards{0};        ///< transmissions, origin sends included
+  std::uint64_t queue_drops{0};
+  std::uint64_t no_route_drops{0};
+  std::uint64_t dead_drops{0};
+  std::uint64_t lost_in_air{0};
+  std::uint64_t queued_at_end{0};
+  std::uint64_t route_refreshes{0};
+  std::uint64_t queue_peak{0};      ///< deepest queue seen at any node
+  double delivery_ratio{0.0};       ///< delivered / generated
+  double throughput{0.0};           ///< delivered per sim-time unit
+  double avg_delay{0.0};            ///< mean source-to-sink latency
+  double forwarding_energy{0.0};    ///< traffic-only energy, summed
+  double energy_mean{0.0};          ///< per non-sink node
+  double energy_max{0.0};
+  double energy_stddev{0.0};        ///< the forwarding-balance metric
+};
+
 /// Outcome of one dynamic (churn / mobility) simulation instance.
 struct dynamic_report {
   std::uint64_t seed{0};
@@ -184,6 +210,9 @@ struct dynamic_report {
   double time_to_partition{0.0};
   bool partitioned{false};
 
+  /// Convergecast data-plane outcome (all-zero unless enabled).
+  traffic_report traffic{};
+
   std::vector<dynamic_sample> samples;
 };
 
@@ -216,6 +245,19 @@ struct dynamic_batch_report {
   exp::summary final_degree;
   exp::summary final_radius;
   exp::summary live_nodes;
+
+  /// Convergecast data-plane aggregates; populated only over runs with
+  /// traffic enabled (`traffic_runs` counts them).
+  std::size_t traffic_runs{0};
+  exp::summary traffic_generated;
+  exp::summary traffic_delivered;
+  exp::summary traffic_delivery_ratio;
+  exp::summary traffic_throughput;
+  exp::summary traffic_delay;
+  exp::summary traffic_energy;
+  exp::summary traffic_energy_spread;  ///< per-run energy stddev
+  exp::summary traffic_drops;          ///< queue + no-route + dead drops
+  exp::summary traffic_queue_peak;
 
   [[nodiscard]] double final_preserved_fraction() const {
     return runs == 0 ? 1.0

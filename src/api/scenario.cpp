@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "geom/random_points.h"
+#include "geom/structured_points.h"
 
 namespace cbtc::api {
 
@@ -23,9 +24,16 @@ std::vector<geom::vec2> scenario_spec::make_positions(std::uint64_t seed) const 
     case deployment_kind::cluster:
       return geom::clustered_points(deploy.nodes, deploy.clusters, deploy.cluster_sigma, box, s);
     case deployment_kind::grid:
+      if (deploy.grid_jitter <= 0.0) return geom::grid_points(deploy.nodes, box);
       return geom::jittered_grid_points(deploy.nodes, deploy.grid_jitter, box, s);
     case deployment_kind::fixed:
       return deploy.fixed;
+    case deployment_kind::ring:
+      return geom::ring_points(deploy.nodes, box);
+    case deployment_kind::tree:
+      return geom::tree_points(deploy.nodes, deploy.tree_branching, box);
+    case deployment_kind::star:
+      return geom::star_points(deploy.nodes, deploy.star_arms, box);
   }
   throw std::logic_error("scenario_spec: unknown deployment kind");
 }

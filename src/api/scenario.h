@@ -26,8 +26,11 @@ namespace cbtc::api {
 enum class deployment_kind {
   uniform,  ///< uniform in a square region (the paper's Section 5 setup)
   cluster,  ///< gaussian clusters (dense spots, thin bridges)
-  grid,     ///< jittered grid (planned mesh deployments)
+  grid,     ///< jittered grid (planned mesh deployments); jitter 0 = exact lattice
   fixed,    ///< explicit positions (CSV imports, analytic gadgets)
+  ring,     ///< perimeter circle (structured, seed-free)
+  tree,     ///< complete b-ary aggregation tiers (structured, seed-free)
+  star,     ///< hub and spokes (structured, seed-free)
 };
 
 struct deployment_spec {
@@ -37,8 +40,12 @@ struct deployment_spec {
   // cluster-only knobs
   std::size_t clusters{5};
   double cluster_sigma{150.0};
-  // grid-only knob
+  // grid-only knob; <= 0 selects the exact seed-free lattice
   double grid_jitter{0.3};
+  // tree-only knob
+  std::size_t tree_branching{2};
+  // star-only knob
+  std::size_t star_arms{4};
   // kind == fixed: the positions themselves (seed is ignored)
   std::vector<geom::vec2> fixed;
 

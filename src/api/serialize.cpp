@@ -21,6 +21,24 @@ using json::get_u64;
 using json::jv;
 using json::require;
 
+std::string lifetime_policy_name(lifetime_policy p) {
+  switch (p) {
+    case lifetime_policy::plain_cbtc: return "plain_cbtc";
+    case lifetime_policy::energy_balanced: return "energy_balanced";
+    case lifetime_policy::cooperative_adaptation: return "cooperative_adaptation";
+  }
+  return "plain_cbtc";
+}
+
+lifetime_policy parse_lifetime_policy(const std::string& name) {
+  if (name == "plain_cbtc" || name == "plain") return lifetime_policy::plain_cbtc;
+  if (name == "energy_balanced" || name == "balanced") return lifetime_policy::energy_balanced;
+  if (name == "cooperative_adaptation" || name == "cooperative") {
+    return lifetime_policy::cooperative_adaptation;
+  }
+  throw std::invalid_argument("unknown lifetime policy '" + name + "'");
+}
+
 namespace {
 
 // ---- enum names ----------------------------------------------------
@@ -31,6 +49,9 @@ std::string deployment_name(deployment_kind k) {
     case deployment_kind::cluster: return "cluster";
     case deployment_kind::grid: return "grid";
     case deployment_kind::fixed: return "fixed";
+    case deployment_kind::ring: return "ring";
+    case deployment_kind::tree: return "tree";
+    case deployment_kind::star: return "star";
   }
   return "uniform";
 }
@@ -40,6 +61,9 @@ deployment_kind parse_deployment(const std::string& name) {
   if (name == "cluster") return deployment_kind::cluster;
   if (name == "grid") return deployment_kind::grid;
   if (name == "fixed") return deployment_kind::fixed;
+  if (name == "ring") return deployment_kind::ring;
+  if (name == "tree") return deployment_kind::tree;
+  if (name == "star") return deployment_kind::star;
   throw std::invalid_argument("scenario JSON: unknown deployment kind '" + name + "'");
 }
 
@@ -89,6 +113,10 @@ jv deployment_to_jv(const deployment_spec& d) {
   o.add("clusters", jv::of_u64(d.clusters));
   o.add("cluster_sigma", jv::of(d.cluster_sigma));
   o.add("grid_jitter", jv::of(d.grid_jitter));
+  // Structured-layout knobs: emitted only for the kinds that consume
+  // them, so pre-existing files keep their exact shape.
+  if (d.kind == deployment_kind::tree) o.add("tree_branching", jv::of_u64(d.tree_branching));
+  if (d.kind == deployment_kind::star) o.add("star_arms", jv::of_u64(d.star_arms));
   if (d.kind == deployment_kind::fixed) {
     jv pts = jv::array();
     for (const geom::vec2& p : d.fixed) {
@@ -104,7 +132,7 @@ jv deployment_to_jv(const deployment_spec& d) {
 
 deployment_spec deployment_from_jv(const jv& o) {
   check_keys(o, "deployment", {"kind", "nodes", "region_side", "clusters", "cluster_sigma",
-                               "grid_jitter", "positions"});
+                               "grid_jitter", "tree_branching", "star_arms", "positions"});
   deployment_spec d;
   d.kind = parse_deployment(get_str(o, "kind", "uniform"));
   d.nodes = get_count(o, "nodes", d.nodes);
@@ -112,6 +140,8 @@ deployment_spec deployment_from_jv(const jv& o) {
   d.clusters = get_count(o, "clusters", d.clusters);
   d.cluster_sigma = get_num(o, "cluster_sigma", d.cluster_sigma);
   d.grid_jitter = get_num(o, "grid_jitter", d.grid_jitter);
+  d.tree_branching = get_count(o, "tree_branching", d.tree_branching);
+  d.star_arms = get_count(o, "star_arms", d.star_arms);
   if (const jv* pts = get(o, "positions")) {
     require(d.kind == deployment_kind::fixed,
             "positions are only valid for deployment kind \"fixed\"");
@@ -416,12 +446,24 @@ jv sim_to_jv(const sim_spec& s) {
     part.add("min_nodes", jv::of_u64(s.partition.min_nodes));
     o.add("partition", std::move(part));
   }
+  // Traffic block: same conditional-emission pattern (period 0 = off).
+  if (s.traffic.enabled()) {
+    jv t = jv::object();
+    t.add("period", jv::of(s.traffic.period));
+    t.add("sink", jv::of_u64(s.traffic.sink));
+    t.add("start", jv::of(s.traffic.start));
+    t.add("until", jv::of(s.traffic.until));
+    t.add("service_time", jv::of(s.traffic.service_time));
+    t.add("route_refresh", jv::of(s.traffic.route_refresh));
+    t.add("queue_capacity", jv::of_u64(s.traffic.queue_capacity));
+    o.add("traffic", std::move(t));
+  }
   return o;
 }
 
 sim_spec sim_from_jv(const jv& o) {
   check_keys(o, "sim", {"horizon", "settle", "sample_every", "mirror_agent_tables", "beacons",
-                        "mobility", "failures", "partition"});
+                        "mobility", "failures", "partition", "traffic"});
   sim_spec s;
   s.horizon = get_num(o, "horizon", s.horizon);
   s.settle = get_num(o, "settle", s.settle);
@@ -449,6 +491,21 @@ sim_spec sim_from_jv(const jv& o) {
     check_keys(*part, "partition", {"regions", "min_nodes"});
     s.partition.regions = static_cast<std::uint32_t>(get_u64(*part, "regions", s.partition.regions));
     s.partition.min_nodes = get_u64(*part, "min_nodes", s.partition.min_nodes);
+  }
+  if (const jv* t = get(o, "traffic")) {
+    check_keys(*t, "traffic", {"period", "sink", "start", "until", "service_time",
+                               "route_refresh", "queue_capacity"});
+    s.traffic.period = get_num(*t, "period", s.traffic.period);
+    s.traffic.sink = static_cast<graph::node_id>(get_u64(*t, "sink", s.traffic.sink));
+    s.traffic.start = get_num(*t, "start", s.traffic.start);
+    s.traffic.until = get_num(*t, "until", s.traffic.until);
+    s.traffic.service_time = get_num(*t, "service_time", s.traffic.service_time);
+    s.traffic.route_refresh = get_num(*t, "route_refresh", s.traffic.route_refresh);
+    s.traffic.queue_capacity = get_count(*t, "queue_capacity", s.traffic.queue_capacity);
+    require(s.traffic.period >= 0.0, "traffic.period must be non-negative");
+    require(s.traffic.service_time > 0.0, "traffic.service_time must be positive");
+    require(s.traffic.route_refresh > 0.0, "traffic.route_refresh must be positive");
+    require(s.traffic.queue_capacity > 0, "traffic.queue_capacity must be positive");
   }
   if (const jv* f = get(o, "failures")) {
     check_keys(*f, "failures", {"random_crashes", "window", "events"});
@@ -481,15 +538,29 @@ jv lifetime_to_jv(const lifetime_spec& s) {
   o.add("battery_rounds", jv::of(s.battery_rounds));
   o.add("flows", jv::of_u64(s.flows));
   o.add("max_rounds", jv::of_u64(s.max_rounds));
+  // Policy knobs: emitted only when non-default (conditional-emission
+  // pattern), so pre-policy lifetime blocks keep their exact shape.
+  if (s.policy != lifetime_policy::plain_cbtc) {
+    o.add("policy", jv::of(lifetime_policy_name(s.policy)));
+  }
+  if (s.convergecast) o.add("convergecast", jv::of(s.convergecast));
+  if (s.sink != 0) o.add("sink", jv::of_u64(s.sink));
   return o;
 }
 
 lifetime_spec lifetime_from_jv(const jv& o) {
-  check_keys(o, "lifetime", {"battery_rounds", "flows", "max_rounds"});
+  check_keys(o, "lifetime",
+             {"battery_rounds", "flows", "max_rounds", "policy", "convergecast", "sink"});
   lifetime_spec s;
   s.battery_rounds = get_num(o, "battery_rounds", s.battery_rounds);
   s.flows = get_count(o, "flows", s.flows);
   s.max_rounds = get_count(o, "max_rounds", s.max_rounds);
+  if (const jv* p = get(o, "policy")) {
+    require(p->k == jv::kind::string, "lifetime.policy must be a string");
+    s.policy = parse_lifetime_policy(p->str);
+  }
+  s.convergecast = get_bool(o, "convergecast", s.convergecast);
+  s.sink = static_cast<graph::node_id>(get_u64(o, "sink", s.sink));
   return s;
 }
 
@@ -499,6 +570,7 @@ std::string to_json(const scenario_file& file) {
   jv root = jv::object();
   root.add("scenario", detail::scenario_to_jv(file.scenario));
   if (file.sim) root.add("sim", detail::sim_to_jv(*file.sim));
+  if (file.lifetime) root.add("lifetime", detail::lifetime_to_jv(*file.lifetime));
   std::ostringstream os;
   json::write_value(os, root, 0);
   os << '\n';
@@ -516,12 +588,16 @@ scenario_file parse_scenario_json(std::string_view text) {
 
     scenario_file out;
     if (const jv* scenario = get(root, "scenario")) {
-      check_keys(root, "top level", {"scenario", "sim"});
+      check_keys(root, "top level", {"scenario", "sim", "lifetime"});
       require(scenario->k == jv::kind::object, "\"scenario\" must be an object");
       out.scenario = detail::scenario_from_jv(*scenario);
       if (const jv* sim = get(root, "sim")) {
         require(sim->k == jv::kind::object, "\"sim\" must be an object");
         out.sim = detail::sim_from_jv(*sim);
+      }
+      if (const jv* life = get(root, "lifetime")) {
+        require(life->k == jv::kind::object, "\"lifetime\" must be an object");
+        out.lifetime = detail::lifetime_from_jv(*life);
       }
     } else {
       // Bare scenario object (no "scenario"/"sim" wrapper).

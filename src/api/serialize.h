@@ -2,10 +2,12 @@
 // feed them to `cbtc_cli sweep --file scenario.json`.
 //
 // A scenario file is a JSON object with a "scenario" section (the
-// static scenario_spec) and an optional "sim" section (the dynamic
-// sim_spec); a bare scenario object (no "scenario" key) is accepted
-// too. Every field is optional and defaults to the corresponding spec
-// default, so files only state what they change:
+// static scenario_spec), an optional "sim" section (the dynamic
+// sim_spec), and an optional "lifetime" section (the battery-attrition
+// lifetime_spec, including the adaptation policy); a bare scenario
+// object (no "scenario" key) is accepted too. Every field is optional
+// and defaults to the corresponding spec default, so files only state
+// what they change:
 //
 //   {
 //     "scenario": {
@@ -18,8 +20,11 @@
 //       "horizon": 120, "settle": 15, "sample_every": 5,
 //       "beacons": {"interval": 1.0, "miss_limit": 3},
 //       "mobility": {"kind": "random_waypoint", "max_speed": 6.0},
-//       "failures": {"random_crashes": 4, "window": [20, 60]}
-//     }
+//       "failures": {"random_crashes": 4, "window": [20, 60]},
+//       "traffic": {"period": 2.0, "sink": 0}
+//     },
+//     "lifetime": {"battery_rounds": 30, "policy": "energy_balanced",
+//                  "convergecast": true, "sink": 0}
 //   }
 //
 // The writer emits every field (a saved file is a complete, durable
@@ -37,10 +42,12 @@
 
 namespace cbtc::api {
 
-/// A (de)serialized experiment: static scenario + optional dynamics.
+/// A (de)serialized experiment: static scenario + optional dynamics +
+/// optional lifetime experiment.
 struct scenario_file {
   scenario_spec scenario{};
   std::optional<sim_spec> sim;
+  std::optional<lifetime_spec> lifetime;
 };
 
 /// Serializes to pretty-printed JSON (doubles round-trip exactly).

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/types.h"
@@ -92,6 +93,28 @@ struct partition_spec {
   std::size_t min_nodes{4096};  ///< auto mode engages at this node count
 };
 
+/// Convergecast data plane over the reconfigured topology
+/// (sim/traffic.h): every non-sink node generates one sensor reading
+/// per `period` and readings flow hop-by-hop toward the sink along
+/// shortest-power-path next-hop tables maintained off the live
+/// symmetric closure. `period == 0` disables the plane entirely (the
+/// default — old scenarios are unaffected). Times are absolute sim
+/// times; 0 means "resolve from the sim_spec" (start defaults to
+/// `settle`, until to `horizon`). Periods and service times are
+/// clamped up to the channel base delay so the partitioned engine's
+/// lookahead always holds.
+struct traffic_spec {
+  double period{0.0};          ///< reading period per node; 0 = traffic off
+  graph::node_id sink{0};      ///< collection point (clamped into [0, n))
+  double start{0.0};           ///< 0 = settle
+  double until{0.0};           ///< 0 = horizon (generation stop time)
+  double service_time{0.05};   ///< one transmission per node per interval
+  double route_refresh{1.0};   ///< stale next-hop table rebuild cadence
+  std::size_t queue_capacity{8};
+
+  [[nodiscard]] bool enabled() const { return period > 0.0; }
+};
+
 /// A complete dynamic simulation: what happens between t = 0 and the
 /// horizon. The initial growing phase runs first; metric sampling
 /// starts at `settle` (by which the initial topology should be built).
@@ -110,6 +133,25 @@ struct sim_spec {
   bool mirror_agent_tables{true};
   /// Spatially partitioned parallel event engine (see partition_spec).
   partition_spec partition{};
+  /// Convergecast data plane (off unless traffic.period > 0).
+  traffic_spec traffic{};
+};
+
+/// Topology-adaptation strategy for lifetime runs — how routes react
+/// to battery depletion (Chu & Sethu, arXiv:1309.3284 / 1309.3260).
+enum class lifetime_policy {
+  /// Minimum-power routes over the CBTC topology, energy-oblivious
+  /// (the paper's baseline; bitwise-identical to the historical path).
+  plain_cbtc,
+  /// Routes weighted by the transmitter's inverse residual-energy
+  /// fraction, still over the CBTC topology: depleted relays are
+  /// bypassed when an alternative exists.
+  energy_balanced,
+  /// Neighbors cooperatively spend more transmit power to route around
+  /// depleted relays: quadratic residual-energy weighting over the
+  /// full live G_R, so longer (higher-power) links substitute for
+  /// dying bottleneck nodes.
+  cooperative_adaptation,
 };
 
 /// Battery-attrition lifetime experiment (round-based, no event sim):
@@ -122,6 +164,21 @@ struct lifetime_spec {
   double battery_rounds{40.0};
   std::size_t flows{30};        ///< routed flows per round
   std::size_t max_rounds{20000};
+  /// Route-adaptation strategy (see lifetime_policy).
+  lifetime_policy policy{lifetime_policy::plain_cbtc};
+  /// Replace the random flows with a convergecast round: every live
+  /// node sends one reading to `sink` along the policy's routing tree.
+  /// The sink is mains-powered (pays neither beacons nor relaying).
+  bool convergecast{false};
+  graph::node_id sink{0};
 };
+
+/// Canonical policy name ("plain_cbtc", "energy_balanced",
+/// "cooperative_adaptation") — the scenario-JSON spelling.
+[[nodiscard]] std::string lifetime_policy_name(lifetime_policy p);
+
+/// Parses `lifetime_policy_name` output plus short aliases ("plain",
+/// "balanced", "cooperative"); throws std::invalid_argument.
+[[nodiscard]] lifetime_policy parse_lifetime_policy(const std::string& name);
 
 }  // namespace cbtc::api

@@ -152,6 +152,16 @@ jv report_to_jv(const dynamic_batch_report& r) {
   o.add("final_degree", summary_to_jv(r.final_degree));
   o.add("final_radius", summary_to_jv(r.final_radius));
   o.add("live_nodes", summary_to_jv(r.live_nodes));
+  o.add("traffic_runs", jv::of_u64(r.traffic_runs));
+  o.add("traffic_generated", summary_to_jv(r.traffic_generated));
+  o.add("traffic_delivered", summary_to_jv(r.traffic_delivered));
+  o.add("traffic_delivery_ratio", summary_to_jv(r.traffic_delivery_ratio));
+  o.add("traffic_throughput", summary_to_jv(r.traffic_throughput));
+  o.add("traffic_delay", summary_to_jv(r.traffic_delay));
+  o.add("traffic_energy", summary_to_jv(r.traffic_energy));
+  o.add("traffic_energy_spread", summary_to_jv(r.traffic_energy_spread));
+  o.add("traffic_drops", summary_to_jv(r.traffic_drops));
+  o.add("traffic_queue_peak", summary_to_jv(r.traffic_queue_peak));
   return o;
 }
 
@@ -163,7 +173,9 @@ dynamic_batch_report dynamic_report_from_jv(const jv& o) {
               "drops", "tx_energy", "joins", "leaves", "achanges", "regrows", "prunes", "beacons",
               "disruptions", "repair_latency", "repair_latency_max", "field_disruptions",
               "field_downtime", "time_to_partition", "final_edges", "final_degree", "final_radius",
-              "live_nodes"});
+              "live_nodes", "traffic_runs", "traffic_generated", "traffic_delivered",
+              "traffic_delivery_ratio", "traffic_throughput", "traffic_delay", "traffic_energy",
+              "traffic_energy_spread", "traffic_drops", "traffic_queue_peak"});
   dynamic_batch_report r;
   r.runs = static_cast<std::size_t>(get_u64(o, "runs", 0));
   r.initial_connectivity_failures =
@@ -193,6 +205,16 @@ dynamic_batch_report dynamic_report_from_jv(const jv& o) {
   r.final_degree = summary_from_jv(o, "final_degree");
   r.final_radius = summary_from_jv(o, "final_radius");
   r.live_nodes = summary_from_jv(o, "live_nodes");
+  r.traffic_runs = static_cast<std::size_t>(get_u64(o, "traffic_runs", 0));
+  r.traffic_generated = summary_from_jv(o, "traffic_generated");
+  r.traffic_delivered = summary_from_jv(o, "traffic_delivered");
+  r.traffic_delivery_ratio = summary_from_jv(o, "traffic_delivery_ratio");
+  r.traffic_throughput = summary_from_jv(o, "traffic_throughput");
+  r.traffic_delay = summary_from_jv(o, "traffic_delay");
+  r.traffic_energy = summary_from_jv(o, "traffic_energy");
+  r.traffic_energy_spread = summary_from_jv(o, "traffic_energy_spread");
+  r.traffic_drops = summary_from_jv(o, "traffic_drops");
+  r.traffic_queue_peak = summary_from_jv(o, "traffic_queue_peak");
   return r;
 }
 

@@ -1,0 +1,96 @@
+#include "geom/structured_points.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cbtc::geom {
+namespace {
+
+constexpr double two_pi = 6.283185307179586476925286766559;
+
+}  // namespace
+
+std::vector<vec2> grid_points(std::size_t n, const bbox& region) {
+  std::vector<vec2> points;
+  points.reserve(n);
+  if (n == 0) return points;
+  const auto cols = static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  const std::size_t rows = (n + cols - 1) / cols;
+  const double dx = region.width() / static_cast<double>(cols);
+  const double dy = region.height() / static_cast<double>(rows);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t row = i / cols;
+    const std::size_t col = i % cols;
+    points.push_back({region.min.x + (static_cast<double>(col) + 0.5) * dx,
+                      region.min.y + (static_cast<double>(row) + 0.5) * dy});
+  }
+  return points;
+}
+
+std::vector<vec2> ring_points(std::size_t n, const bbox& region, double radius_frac) {
+  std::vector<vec2> points;
+  points.reserve(n);
+  if (n == 0) return points;
+  const vec2 center{region.min.x + region.width() / 2.0, region.min.y + region.height() / 2.0};
+  const double radius = std::min(region.width(), region.height()) * radius_frac;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = two_pi * static_cast<double>(i) / static_cast<double>(n);
+    points.push_back({center.x + radius * std::cos(a), center.y + radius * std::sin(a)});
+  }
+  return points;
+}
+
+std::vector<vec2> tree_points(std::size_t n, std::size_t branching, const bbox& region) {
+  std::vector<vec2> points;
+  points.reserve(n);
+  if (n == 0) return points;
+  const std::size_t b = std::max<std::size_t>(2, branching);
+  // Number of complete levels needed to hold n nodes (root = level 0).
+  std::size_t levels = 1;
+  std::size_t capacity = 1;
+  std::size_t width = 1;
+  while (capacity < n) {
+    width *= b;
+    capacity += width;
+    ++levels;
+  }
+  const double dy = region.height() / static_cast<double>(levels);
+  std::size_t produced = 0;
+  std::size_t level_width = 1;
+  for (std::size_t level = 0; level < levels && produced < n; ++level) {
+    const std::size_t count = std::min(level_width, n - produced);
+    const double y = region.max.y - (static_cast<double>(level) + 0.5) * dy;
+    const double dx = region.width() / static_cast<double>(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      points.push_back({region.min.x + (static_cast<double>(i) + 0.5) * dx, y});
+    }
+    produced += count;
+    level_width *= b;
+  }
+  return points;
+}
+
+std::vector<vec2> star_points(std::size_t n, std::size_t arms, const bbox& region) {
+  std::vector<vec2> points;
+  points.reserve(n);
+  if (n == 0) return points;
+  const vec2 center{region.min.x + region.width() / 2.0, region.min.y + region.height() / 2.0};
+  points.push_back(center);  // the hub
+  if (n == 1) return points;
+  const std::size_t a = std::max<std::size_t>(1, arms);
+  const double reach = std::min(region.width(), region.height()) * 0.45;
+  // Round-robin over the arms: node i sits on arm i % a at rank i / a.
+  const std::size_t spokes = n - 1;
+  const std::size_t ranks = (spokes + a - 1) / a;
+  const double step = reach / static_cast<double>(ranks);
+  for (std::size_t i = 0; i < spokes; ++i) {
+    const std::size_t arm = i % a;
+    const auto rank = static_cast<double>(i / a + 1);
+    const double angle = two_pi * static_cast<double>(arm) / static_cast<double>(a);
+    points.push_back({center.x + rank * step * std::cos(angle),
+                      center.y + rank * step * std::sin(angle)});
+  }
+  return points;
+}
+
+}  // namespace cbtc::geom

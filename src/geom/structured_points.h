@@ -1,0 +1,43 @@
+// Structured (deterministic, seed-free) deployment generators.
+//
+// Complements random_points.h with the planned layouts real sensor
+// deployments use: exact lattices, ring perimeters, hierarchical
+// (tree) tiers, and hub-and-spoke stars. All generators produce
+// exactly `n` points inside `region` and are pure functions of their
+// arguments — the same spec yields the same field at every seed, so
+// structured scenarios isolate the protocol's randomness from the
+// deployment's.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/bbox.h"
+#include "geom/vec2.h"
+
+namespace cbtc::geom {
+
+/// Exact row-major lattice: ceil(sqrt(n)) columns, filled row by row,
+/// cell-centered so no point touches the region boundary.
+[[nodiscard]] std::vector<vec2> grid_points(std::size_t n, const bbox& region);
+
+/// Evenly spaced points on a circle centered in the region;
+/// `radius_frac` scales the radius relative to the shorter region side
+/// (0.42 leaves a margin inside the unit box).
+[[nodiscard]] std::vector<vec2> ring_points(std::size_t n, const bbox& region,
+                                            double radius_frac = 0.42);
+
+/// Complete `branching`-ary tree laid out level by level: the root at
+/// the top-center, each level a horizontal rank below the previous —
+/// the hierarchical tiers of an aggregation deployment. `branching`
+/// is clamped to at least 2.
+[[nodiscard]] std::vector<vec2> tree_points(std::size_t n, std::size_t branching,
+                                            const bbox& region);
+
+/// Hub-and-spoke: one hub in the center, the rest distributed over
+/// `arms` evenly rotated rays, spaced outward in round-robin order.
+/// `arms` is clamped to at least 1.
+[[nodiscard]] std::vector<vec2> star_points(std::size_t n, std::size_t arms,
+                                            const bbox& region);
+
+}  // namespace cbtc::geom

@@ -28,6 +28,32 @@ std::vector<double> dijkstra(const undirected_graph& g, node_id from, const edge
   return dist;
 }
 
+shortest_path_tree dijkstra_tree(const undirected_graph& g, node_id from,
+                                 const edge_cost_fn& cost) {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  shortest_path_tree tree;
+  tree.dist.assign(g.num_nodes(), inf);
+  tree.parent.assign(g.num_nodes(), invalid_node);
+  using entry = std::pair<double, node_id>;
+  std::priority_queue<entry, std::vector<entry>, std::greater<>> heap;
+  tree.dist[from] = 0.0;
+  heap.push({0.0, from});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > tree.dist[u]) continue;
+    for (node_id v : g.neighbors(u)) {
+      const double nd = d + cost(u, v);
+      if (nd < tree.dist[v]) {
+        tree.dist[v] = nd;
+        tree.parent[v] = u;
+        heap.push({nd, v});
+      }
+    }
+  }
+  return tree;
+}
+
 edge_cost_fn euclidean_cost(const std::vector<geom::vec2>& positions) {
   return [&positions](node_id u, node_id v) {
     return geom::distance(positions[u], positions[v]);

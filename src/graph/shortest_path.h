@@ -21,6 +21,21 @@ using edge_cost_fn = std::function<double(node_id, node_id)>;
 [[nodiscard]] std::vector<double> dijkstra(const undirected_graph& g, node_id from,
                                            const edge_cost_fn& cost);
 
+/// Shortest-path tree rooted at the Dijkstra source: `parent[u]` is the
+/// next hop from `u` toward the root (invalid_node for the root itself
+/// and for unreachable nodes, which keep dist = +infinity).
+struct shortest_path_tree {
+  std::vector<double> dist;
+  std::vector<node_id> parent;
+};
+
+/// Dijkstra from `from` with parent pointers. Relaxations use strict
+/// `<` improvement and the heap orders ties by (distance, node id), so
+/// the tree is deterministic for a given graph and cost function. The
+/// cost callback is invoked as cost(settled, neighbor).
+[[nodiscard]] shortest_path_tree dijkstra_tree(const undirected_graph& g, node_id from,
+                                               const edge_cost_fn& cost);
+
 /// Edge cost equal to Euclidean length (hop-length metric).
 [[nodiscard]] edge_cost_fn euclidean_cost(const std::vector<geom::vec2>& positions);
 

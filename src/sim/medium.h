@@ -79,6 +79,9 @@ class medium {
     if (move_hook_) move_hook_(u, p);
   }
   void set_handler(node_id u, rx_handler handler) { handlers_[u] = std::move(handler); }
+  /// Current handler of `u` — lets layered protocols (e.g. the traffic
+  /// data plane) wrap an installed handler instead of replacing it.
+  [[nodiscard]] const rx_handler& handler(node_id u) const { return handlers_[u]; }
 
   /// Observation hooks for engines that mirror medium state (e.g. an
   /// incremental live-neighbor index): `move` fires after every

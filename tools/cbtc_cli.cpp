@@ -32,6 +32,7 @@
 #include "api/dispatch.h"
 #include "exp/table.h"
 #include "geom/random_points.h"
+#include "geom/structured_points.h"
 #include "graph/graph_io.h"
 #include "graph/position_io.h"
 #include "net/service.h"
@@ -109,8 +110,10 @@ int usage() {
       "usage: cbtc_cli <command> [options]\n"
       "\n"
       "commands:\n"
-      "  generate  --nodes N --region S [--layout uniform|cluster|grid]\n"
-      "            [--clusters K --sigma S] [--seed N] --out FILE.csv\n"
+      "  generate  --nodes N --region S\n"
+      "            [--layout uniform|cluster|grid|ring|tree|star]\n"
+      "            [--clusters K --sigma S] [--branching B] [--arms A]\n"
+      "            [--seed N] --out FILE.csv\n"
       "  build     --in FILE.csv [--alpha RAD] [--range R] [--exponent N]\n"
       "            [--all-opts | --shrink-back --asym --pairwise]\n"
       "            [--continuous] [--svg FILE] [--dot FILE] [--edges FILE]\n"
@@ -125,6 +128,11 @@ int usage() {
       "            [--alpha RAD] [--nodes N] [--region S] [--range R]\n"
       "            [--propagation isotropic|shadowing|obstacles]\n"
       "            [--shadow-sigma DB] [--shadow-clamp DB]\n"
+      "            [--lifetime] [--policy plain|balanced|cooperative]\n"
+      "            [--sink N] [--battery-rounds X]\n"
+      "            (a lifetime block — from the JSON file or any of these\n"
+      "             four flags — switches the sweep to the battery-attrition\n"
+      "             experiment; --sink also selects convergecast rounds)\n"
       "            [--save FILE.json]  (write the resolved scenario, don't run)\n"
       "  sweep     --list           (show registered scenarios)\n"
       "  serve     [--port P] [--bind ADDR] [--threads T]\n"
@@ -154,7 +162,15 @@ int cmd_generate(const cli_args& args) {
     positions = geom::clustered_points(nodes, args.count("clusters", 5),
                                        args.num("sigma", side / 10.0), region, seed);
   } else if (layout == "grid") {
-    positions = geom::jittered_grid_points(nodes, args.num("jitter", 0.3), region, seed);
+    const double jitter = args.num("jitter", 0.3);
+    positions = jitter <= 0.0 ? geom::grid_points(nodes, region)
+                              : geom::jittered_grid_points(nodes, jitter, region, seed);
+  } else if (layout == "ring") {
+    positions = geom::ring_points(nodes, region);
+  } else if (layout == "tree") {
+    positions = geom::tree_points(nodes, args.count("branching", 2), region);
+  } else if (layout == "star") {
+    positions = geom::star_points(nodes, args.count("arms", 4), region);
   } else {
     throw usage_error("unknown layout: " + layout);
   }
@@ -308,12 +324,45 @@ int print_dynamic_sweep(const api::scenario_spec& spec, const api::dynamic_batch
   row("final avg degree", b.final_degree);
   row("final avg radius", b.final_radius, 1);
   row("live nodes", b.live_nodes, 1);
+  if (b.traffic_runs > 0) {
+    row("traffic generated", b.traffic_generated, 0);
+    row("traffic delivered", b.traffic_delivered, 0);
+    row("delivery ratio", b.traffic_delivery_ratio, 3);
+    row("throughput", b.traffic_throughput, 2);
+    row("delivery delay", b.traffic_delay, 3);
+    row("forwarding energy", b.traffic_energy, 0);
+    row("energy spread", b.traffic_energy_spread, 1);
+    row("traffic drops", b.traffic_drops, 1);
+    row("queue peak", b.traffic_queue_peak, 1);
+  }
   t.print(std::cout);
 
   std::cout << "\nfinal connectivity preserved: " << (b.runs - b.final_connectivity_failures)
             << "/" << b.runs << "\npartitioned runs: " << b.partitioned_runs
             << ", unrepaired disruptions: " << b.unrepaired_disruptions << "\n";
   return b.final_connectivity_failures == 0 ? 0 : 1;
+}
+
+/// Prints a lifetime sweep's aggregates; always exits 0 (lifetime runs
+/// have no pass/fail invariant — the rounds are the result).
+int print_lifetime_sweep(const api::scenario_spec& spec, const api::lifetime_spec& life,
+                         const api::lifetime_batch_report& b, api::seed_range seeds) {
+  std::cout << "lifetime scenario " << spec.name << " (" << api::method_name(spec.method)
+            << ", policy " << api::lifetime_policy_name(life.policy)
+            << (life.convergecast ? ", convergecast sink " + std::to_string(life.sink) : "")
+            << "), seeds [" << seeds.first << ", " << seeds.first + seeds.count << "), " << b.runs
+            << " runs\n\n";
+
+  exp::table t({"rounds until", "mean", "stddev", "min", "max"});
+  const auto row = [&t](const std::string& label, const exp::summary& s) {
+    t.add_row({label, exp::table::num(s.mean(), 1), exp::table::num(s.stddev(), 1),
+               exp::table::num(s.min(), 1), exp::table::num(s.max(), 1)});
+  };
+  row("first death", b.first_death);
+  row("25% dead", b.quarter_dead);
+  row("field partition", b.field_partition);
+  t.print(std::cout);
+  return 0;
 }
 
 /// Lists both registries (also serves `sweep --list`).
@@ -325,20 +374,24 @@ int cmd_scenarios() {
   return 0;
 }
 
-/// Scenario + optional sim resolved from --scenario/--file plus the
-/// command-line overrides (shared by sweep and dispatch).
+/// Scenario + optional sim + optional lifetime resolved from
+/// --scenario/--file plus the command-line overrides (shared by sweep
+/// and dispatch).
 struct sweep_setup {
   api::scenario_spec spec;
   std::optional<api::sim_spec> sim;
+  std::optional<api::lifetime_spec> lifetime;
 };
 
 sweep_setup resolve_sweep(const cli_args& args) {
   std::optional<api::sim_spec> sim;
+  std::optional<api::lifetime_spec> lifetime;
   api::scenario_spec spec;
   if (const std::string file = args.get("file", ""); !file.empty()) {
     api::scenario_file loaded = api::load_scenario_file(file);
     spec = std::move(loaded.scenario);
     sim = loaded.sim;
+    lifetime = loaded.lifetime;
     if (spec.name.empty()) spec.name = file;
   } else {
     const std::string name = args.get("scenario", "paper_table1");
@@ -413,7 +466,28 @@ sweep_setup resolve_sweep(const cli_args& args) {
     }
     sim->partition.regions = static_cast<std::uint32_t>(args.count("regions", 0));
   }
-  return {std::move(spec), sim};
+
+  // Lifetime flags: any of them switches the sweep to the
+  // battery-attrition experiment (on top of a file's lifetime block).
+  const bool lifetime_flags = args.has_flag("lifetime") || args.options.contains("policy") ||
+                              args.options.contains("sink") ||
+                              args.options.contains("battery-rounds");
+  if (lifetime_flags && !lifetime) lifetime.emplace();
+  if (lifetime) {
+    if (args.options.contains("policy")) {
+      try {
+        lifetime->policy = api::parse_lifetime_policy(args.get("policy", ""));
+      } catch (const std::invalid_argument& e) {
+        throw usage_error(e.what());
+      }
+    }
+    if (args.options.contains("sink")) {
+      lifetime->sink = static_cast<graph::node_id>(args.count("sink", lifetime->sink));
+      lifetime->convergecast = true;
+    }
+    lifetime->battery_rounds = args.num("battery-rounds", lifetime->battery_rounds);
+  }
+  return {std::move(spec), sim, lifetime};
 }
 
 /// Seed range of a sweep/dispatch invocation (--first / --seeds).
@@ -459,10 +533,10 @@ int print_static_sweep(const api::scenario_spec& spec, const api::batch_report& 
 
 int cmd_sweep(const cli_args& args) {
   if (args.has_flag("list")) return cmd_scenarios();
-  auto [spec, sim] = resolve_sweep(args);
+  auto [spec, sim, lifetime] = resolve_sweep(args);
 
   if (const std::string save = args.get("save", ""); !save.empty()) {
-    api::save_scenario_file(save, {.scenario = spec, .sim = sim});
+    api::save_scenario_file(save, {.scenario = spec, .sim = sim, .lifetime = lifetime});
     std::cout << "wrote scenario '" << spec.name << "' to " << save << "\n";
     return 0;
   }
@@ -471,6 +545,10 @@ int cmd_sweep(const cli_args& args) {
   const auto threads = static_cast<unsigned>(args.count("threads", 0));
 
   const api::engine eng;
+  if (lifetime) {
+    return print_lifetime_sweep(spec, *lifetime, eng.run_batch(spec, *lifetime, seeds, threads),
+                                seeds);
+  }
   if (sim) {
     return print_dynamic_sweep(spec, eng.run_batch(spec, *sim, seeds, threads), seeds);
   }
@@ -495,7 +573,7 @@ int cmd_dispatch(const cli_args& args) {
   if (endpoints.empty()) {
     throw usage_error("dispatch needs --endpoints host:port[,host:port...]");
   }
-  auto [spec, sim] = resolve_sweep(args);
+  auto [spec, sim, lifetime] = resolve_sweep(args);
 
   api::dispatch_config cfg;
   try {
@@ -517,7 +595,10 @@ int cmd_dispatch(const cli_args& args) {
   // diffs clean against an in-process one); dispatch telemetry goes
   // to stderr.
   int rc = 0;
-  if (sim) {
+  if (lifetime) {
+    rc = print_lifetime_sweep(spec, *lifetime, dispatcher.run_batch(spec, *lifetime, seeds),
+                              seeds);
+  } else if (sim) {
     rc = print_dynamic_sweep(spec, dispatcher.run_batch(spec, *sim, seeds), seeds);
   } else {
     rc = print_static_sweep(spec, dispatcher.run_batch(spec, seeds), seeds);
