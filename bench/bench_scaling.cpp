@@ -15,10 +15,15 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "algo/gain_removal.h"
 #include "algo/oracle.h"
+#include "algo/pipeline.h"
+#include "algo/stc.h"
 #include "api/api.h"
 #include "geom/random_points.h"
 #include "geom/spatial_grid.h"
@@ -154,6 +159,77 @@ void BM_MaxPowerGraphGridShadowed(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_MaxPowerGraphGridShadowed)->RangeMultiplier(2)->Range(100, 1600)->Complexity();
+
+// -- op3 passes: Theorem 3.6 angle witness vs gain-aware link power ---
+
+/// Growth + shrink-back topology and candidate graph per (nodes,
+/// shadowed) pair, built once and shared across the op3 rows so the
+/// timed region is the removal / STC pass alone.
+struct removal_fixture {
+  std::vector<geom::vec2> positions;
+  graph::undirected_graph topology;
+  graph::undirected_graph candidates;
+};
+
+const removal_fixture& removal_instance(std::int64_t nodes, bool shadowed) {
+  static std::map<std::pair<std::int64_t, bool>, removal_fixture> cache;
+  const auto [it, fresh] = cache.try_emplace({nodes, shadowed});
+  if (fresh) {
+    removal_fixture& f = it->second;
+    f.positions = make_positions(nodes);
+    const radio::link_model link = shadowed ? shadowed_link : radio::link_model(pm);
+    algo::cbtc_params params;
+    params.mode = algo::growth_mode::continuous;
+    params.intra_threads = 0;
+    f.topology = algo::build_topology(f.positions, link, params, {.shrink_back = true}).topology;
+    util::thread_pool pool(0);
+    f.candidates = graph::build_max_power_graph(f.positions, link, pool);
+  }
+  return it->second;
+}
+
+/// Denominator row for the machine-independent gain-aware/pairwise
+/// ratio gate in bench/baseline_scaling.json.
+void BM_PairwiseRemoval(benchmark::State& state) {
+  const removal_fixture& f = removal_instance(state.range(0), false);
+  util::thread_pool pool(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::apply_pairwise_removal(f.topology, f.positions, {}, pool));
+  }
+}
+BENCHMARK(BM_PairwiseRemoval)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_GainAwareRemoval(benchmark::State& state) {
+  const removal_fixture& f = removal_instance(state.range(0), false);
+  const radio::link_model link(pm);
+  util::thread_pool pool(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        algo::apply_gain_aware_removal(f.topology, f.candidates, f.positions, link, {}, pool));
+  }
+}
+BENCHMARK(BM_GainAwareRemoval)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_GainAwareRemovalShadowed(benchmark::State& state) {
+  const removal_fixture& f = removal_instance(state.range(0), true);
+  util::thread_pool pool(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::apply_gain_aware_removal(f.topology, f.candidates, f.positions,
+                                                            shadowed_link, {}, pool));
+  }
+}
+BENCHMARK(BM_GainAwareRemovalShadowed)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+/// Sethu-Gerety STC over the prebuilt shadowed candidate graph.
+void BM_StcGrowth(benchmark::State& state) {
+  const removal_fixture& f = removal_instance(state.range(0), true);
+  util::thread_pool pool(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        algo::build_stc_topology(f.candidates, f.positions, shadowed_link, pool));
+  }
+}
+BENCHMARK(BM_StcGrowth)->Arg(10000)->Unit(benchmark::kMillisecond);
 
 void BM_EngineBaselineMst(benchmark::State& state) {
   api::scenario_spec spec = scaling_spec(state.range(0));

@@ -9,6 +9,7 @@
 
 #include <span>
 
+#include "algo/gain_removal.h"
 #include "algo/oracle.h"
 #include "algo/pairwise.h"
 #include "algo/params.h"
@@ -26,6 +27,17 @@ struct optimization_set {
   /// alpha > 2*pi/3 (the paper's "all applicable optimizations").
   bool asymmetric_removal{false};
   bool pairwise_removal{false};
+  /// Run the gain-aware removal (algo/gain_removal.h) as the op3 pass.
+  /// Requires the link-aware apply_optimizations / build_topology
+  /// overloads (the power-model-only paths have no gains to price
+  /// witness paths with and throw std::invalid_argument). Note the
+  /// link-aware paths also auto-route `pairwise_removal` to this pass
+  /// whenever the propagation is non-isotropic — Theorem 3.6's angle
+  /// witness is unit-disk-only — so this knob is for forcing the
+  /// gain-aware pass under isotropic propagation.
+  bool gain_aware{false};
+  /// Shared op3 tuning: gain-aware removal reuses remove_all and the
+  /// endpoint gate (over required link power instead of length).
   pairwise_options pairwise{};
 
   [[nodiscard]] static optimization_set none() { return {}; }
@@ -44,14 +56,30 @@ struct topology_result {
   /// op3 statistics (zeros if op3 disabled).
   std::size_t redundant_edges{0};
   std::size_t removed_edges{0};
+  /// Whether op3 ran as the gain-aware pass (requested explicitly or
+  /// auto-routed for a non-isotropic link).
+  bool gain_aware_applied{false};
+  /// Edges the gain-aware repair pass re-added (0 for the angle pass).
+  std::size_t restored_edges{0};
 };
 
 /// Applies the selected optimizations to an already-grown CBTC outcome
 /// (from the centralized oracle or the distributed protocol) and builds
 /// the final symmetric topology. `grown.params` decides whether the
-/// asymmetric removal is applicable.
+/// asymmetric removal is applicable. Throws std::invalid_argument when
+/// opts.gain_aware is set — pricing witness paths needs a link model;
+/// use the overload below.
 [[nodiscard]] topology_result apply_optimizations(cbtc_result grown,
                                                   std::span<const geom::vec2> positions,
+                                                  const optimization_set& opts = {});
+
+/// Link-aware variant: op3 runs as the gain-aware removal whenever
+/// opts.gain_aware is set or the propagation is non-isotropic (and as
+/// Theorem 3.6's angle pass otherwise, bit for bit the overload
+/// above).
+[[nodiscard]] topology_result apply_optimizations(cbtc_result grown,
+                                                  std::span<const geom::vec2> positions,
+                                                  const radio::link_model& link,
                                                   const optimization_set& opts = {});
 
 /// Runs CBTC(alpha) and the selected optimizations over `positions`.

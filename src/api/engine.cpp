@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "algo/augment.h"
+#include "algo/stc.h"
 #include "baselines/baselines.h"
 #include "geom/spatial_order.h"
 #include "graph/euclidean.h"
@@ -211,7 +212,14 @@ run_report engine::run_internal(const scenario_spec& spec, std::uint64_t seed,
       r.has_protocol_stats = true;
       r.protocol_stats = pr.stats;
       r.completion_time = pr.completion_time;
-      adopt(algo::apply_optimizations(std::move(pr.outcome), positions, spec.opts));
+      adopt(algo::apply_optimizations(std::move(pr.outcome), positions, link, spec.opts));
+      break;
+    }
+    case method_spec::kind::stc: {
+      // No growth record: STC works directly off the gain-aware
+      // candidate graph, like the geometric baselines.
+      algo::stc_result sr = algo::build_stc_topology(gr, positions, link, pool);
+      r.topology = std::move(sr.topology);
       break;
     }
     case method_spec::kind::baseline:

@@ -87,12 +87,22 @@ std::map<std::string, scenario_spec, std::less<>> built_ins() {
                            .sigma_db = 4.0,
                            .clamp_db = 8.0};
     s.cbtc.mode = algo::growth_mode::continuous;
-    // Shrink-back only: the pairwise-removal proof (Theorem 3.6) is a
-    // unit-disk argument — its angle-witness does not imply a feasible
-    // replacement link under per-link gains, and running it here does
-    // break preservation on some seeds (see README, Propagation
-    // models).
-    s.opts = {.shrink_back = true};
+    // Theorem 3.6's angle witness is a unit-disk argument and breaks
+    // preservation under per-link gains, so op3 runs as the gain-aware
+    // removal (algo/gain_removal.h), whose witness is a cheaper
+    // link-power path.
+    s.opts = {.shrink_back = true, .gain_aware = true};
+    put(std::move(s));
+  }
+  {
+    // The same shadowed workload under Sethu-Gerety step topology
+    // control — the non-uniform-path-loss comparison method.
+    scenario_spec s = named("shadowed_field_stc");
+    s.deploy = {.kind = deployment_kind::uniform, .nodes = 120, .region_side = 1500.0};
+    s.radio.propagation = {.kind = radio::propagation_kind::lognormal_shadowing,
+                           .sigma_db = 4.0,
+                           .clamp_db = 8.0};
+    s.method = method_spec::stc();
     put(std::move(s));
   }
   {
@@ -111,7 +121,25 @@ std::map<std::string, scenario_spec, std::less<>> built_ins() {
         {.box = {{950.0, 950.0}, {1500.0, 1300.0}}, .loss_db = 9.0},
     };
     s.cbtc.mode = algo::growth_mode::continuous;
-    s.opts = {.shrink_back = true};  // see shadowed_field: op3 is unit-disk-only
+    // See shadowed_field: op3 under per-link gains is the gain-aware pass.
+    s.opts = {.shrink_back = true, .gain_aware = true};
+    put(std::move(s));
+  }
+  {
+    // The obstacle mesh under Sethu-Gerety step topology control.
+    scenario_spec s = named("urban_obstacles_stc");
+    s.deploy = {.kind = deployment_kind::grid,
+                .nodes = 144,
+                .region_side = 1800.0,
+                .grid_jitter = 0.3};
+    s.radio.propagation.kind = radio::propagation_kind::obstacle_field;
+    s.radio.propagation.obstacles = {
+        {.box = {{300.0, 300.0}, {700.0, 650.0}}, .loss_db = 9.0},
+        {.box = {{1000.0, 200.0}, {1400.0, 550.0}}, .loss_db = 9.0},
+        {.box = {{250.0, 1000.0}, {650.0, 1450.0}}, .loss_db = 9.0},
+        {.box = {{950.0, 950.0}, {1500.0, 1300.0}}, .loss_db = 9.0},
+    };
+    s.method = method_spec::stc();
     put(std::move(s));
   }
   return reg;

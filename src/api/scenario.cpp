@@ -81,6 +81,8 @@ std::string method_name(const method_spec& m) {
       return "oracle";
     case method_spec::kind::protocol:
       return "protocol";
+    case method_spec::kind::stc:
+      return "stc";
     case method_spec::kind::baseline:
       break;
   }
@@ -104,6 +106,7 @@ std::string method_name(const method_spec& m) {
 method_spec parse_method(const std::string& name) {
   if (name == "oracle") return method_spec::oracle();
   if (name == "protocol") return method_spec::protocol();
+  if (name == "stc" || name == "sethu-gerety") return method_spec::stc();
   if (name == "mst" || name == "euclidean-mst") {
     return method_spec::of_baseline(baseline_kind::euclidean_mst);
   }

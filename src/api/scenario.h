@@ -91,9 +91,12 @@ enum class baseline_kind {
   max_power,  ///< no topology control: everyone transmits at P
 };
 
-/// Which algorithm builds the topology.
+/// Which algorithm builds the topology. `stc` is Sethu-Gerety step
+/// topology control (algo/stc.h): purely link-power based, so it is
+/// the natural comparison method for CBTC under non-isotropic
+/// propagation.
 struct method_spec {
-  enum class kind { oracle, protocol, baseline };
+  enum class kind { oracle, protocol, baseline, stc };
 
   kind k{kind::oracle};
   baseline_kind baseline{baseline_kind::max_power};
@@ -102,6 +105,7 @@ struct method_spec {
 
   [[nodiscard]] static method_spec oracle() { return {}; }
   [[nodiscard]] static method_spec protocol() { return {.k = kind::protocol}; }
+  [[nodiscard]] static method_spec stc() { return {.k = kind::stc}; }
   [[nodiscard]] static method_spec of_baseline(baseline_kind b) {
     return {.k = kind::baseline, .baseline = b};
   }

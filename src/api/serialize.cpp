@@ -291,6 +291,7 @@ jv scenario_to_jv(const scenario_spec& s) {
     opts.add("shrink_back", jv::of(s.opts.shrink_back));
     opts.add("asymmetric_removal", jv::of(s.opts.asymmetric_removal));
     opts.add("pairwise_removal", jv::of(s.opts.pairwise_removal));
+    opts.add("gain_aware", jv::of(s.opts.gain_aware));
     o.add("optimizations", std::move(opts));
   }
   {
@@ -355,10 +356,12 @@ scenario_spec scenario_from_jv(const jv& o) {
     s.cbtc.relabel_min_nodes = get_count(*c, "relabel_min_nodes", s.cbtc.relabel_min_nodes);
   }
   if (const jv* opt = get(o, "optimizations")) {
-    check_keys(*opt, "optimizations", {"shrink_back", "asymmetric_removal", "pairwise_removal"});
+    check_keys(*opt, "optimizations",
+               {"shrink_back", "asymmetric_removal", "pairwise_removal", "gain_aware"});
     s.opts.shrink_back = get_bool(*opt, "shrink_back", s.opts.shrink_back);
     s.opts.asymmetric_removal = get_bool(*opt, "asymmetric_removal", s.opts.asymmetric_removal);
     s.opts.pairwise_removal = get_bool(*opt, "pairwise_removal", s.opts.pairwise_removal);
+    s.opts.gain_aware = get_bool(*opt, "gain_aware", s.opts.gain_aware);
   }
   if (const jv* p = get(o, "protocol")) {
     check_keys(*p, "protocol", {"round_timeout", "reply_margin", "retries_per_level",

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <initializer_list>
 
 #include "api/api.h"
 
@@ -12,7 +13,8 @@ namespace {
 TEST(ApiRegistry, BuiltInsArePresent) {
   const auto names = scenario_names();
   for (const char* expected : {"paper_table1", "paper_basic", "paper_protocol", "figure6",
-                               "dense_sensor_field", "sparse_adhoc", "grid_mesh"}) {
+                               "dense_sensor_field", "sparse_adhoc", "grid_mesh", "shadowed_field",
+                               "urban_obstacles", "shadowed_field_stc", "urban_obstacles_stc"}) {
     EXPECT_TRUE(std::find(names.begin(), names.end(), expected) != names.end())
         << "missing built-in scenario: " << expected;
   }
@@ -56,11 +58,50 @@ TEST(ApiRegistry, EmptyNameRejected) {
 }
 
 TEST(ApiRegistry, MethodNamesRoundTrip) {
-  for (const char* name : {"oracle", "protocol", "mst", "rng", "gabriel", "yao", "knn",
+  for (const char* name : {"oracle", "protocol", "stc", "mst", "rng", "gabriel", "yao", "knn",
                            "max-power"}) {
     EXPECT_EQ(method_name(parse_method(name)), name);
   }
+  EXPECT_EQ(method_name(parse_method("sethu-gerety")), "stc");
   EXPECT_THROW((void)parse_method("carrier-pigeon"), std::invalid_argument);
+}
+
+// Pins every preset's optimization flags, so a preset silently losing
+// its op3-class pass (the pre-gain-aware state of the non-isotropic
+// presets) fails loudly.
+TEST(ApiRegistry, PresetOptimizationFlagsPinned) {
+  struct pin {
+    const char* name;
+    bool shrink_back;
+    bool pairwise_removal;
+    bool gain_aware;
+  };
+  for (const pin& p : std::initializer_list<pin>{
+           {"paper_table1", true, true, false},
+           {"paper_basic", false, false, false},
+           {"figure6", true, true, false},
+           {"paper_protocol", true, true, false},
+           {"dense_sensor_field", true, true, false},
+           {"sparse_adhoc", true, true, false},
+           {"grid_mesh", true, true, false},
+           {"shadowed_field", true, false, true},
+           {"urban_obstacles", true, false, true},
+       }) {
+    const scenario_spec s = get_scenario(p.name);
+    EXPECT_EQ(s.opts.shrink_back, p.shrink_back) << p.name;
+    EXPECT_EQ(s.opts.pairwise_removal, p.pairwise_removal) << p.name;
+    EXPECT_EQ(s.opts.gain_aware, p.gain_aware) << p.name;
+    // Every non-isotropic preset must run an op3-class removal pass.
+    if (s.radio.propagation.kind != radio::propagation_kind::isotropic) {
+      EXPECT_TRUE(s.opts.gain_aware || s.opts.pairwise_removal) << p.name;
+    }
+  }
+  // The STC presets pair the same fields with the stc method.
+  for (const char* name : {"shadowed_field_stc", "urban_obstacles_stc"}) {
+    const scenario_spec s = get_scenario(name);
+    EXPECT_EQ(s.method.k, method_spec::kind::stc) << name;
+    EXPECT_NE(s.radio.propagation.kind, radio::propagation_kind::isotropic) << name;
+  }
 }
 
 }  // namespace

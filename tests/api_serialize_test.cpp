@@ -29,7 +29,10 @@ scenario_file busy_file() {
   s.cbtc.mode = algo::growth_mode::continuous;
   s.cbtc.initial_power = 17.5;
   s.cbtc.increase_factor = 3.0;
-  s.opts = {.shrink_back = true, .asymmetric_removal = false, .pairwise_removal = true};
+  s.opts = {.shrink_back = true,
+            .asymmetric_removal = false,
+            .pairwise_removal = true,
+            .gain_aware = true};
   s.protocol.agent.round_timeout = 0.75;
   s.protocol.agent.reply_margin = 1.25;
   s.protocol.agent.retries_per_level = 4;
@@ -92,6 +95,7 @@ TEST(ApiSerialize, RoundTripPreservesEveryField) {
   EXPECT_EQ(a.opts.shrink_back, b.opts.shrink_back);
   EXPECT_EQ(a.opts.asymmetric_removal, b.opts.asymmetric_removal);
   EXPECT_EQ(a.opts.pairwise_removal, b.opts.pairwise_removal);
+  EXPECT_EQ(a.opts.gain_aware, b.opts.gain_aware);
   EXPECT_DOUBLE_EQ(a.protocol.agent.round_timeout, b.protocol.agent.round_timeout);
   EXPECT_DOUBLE_EQ(a.protocol.agent.reply_margin, b.protocol.agent.reply_margin);
   EXPECT_EQ(a.protocol.agent.retries_per_level, b.protocol.agent.retries_per_level);
@@ -165,6 +169,31 @@ TEST(ApiSerialize, SparseFilesFallBackToDefaults) {
   ASSERT_TRUE(f.sim.has_value());
   EXPECT_DOUBLE_EQ(f.sim->horizon, 50.0);
   EXPECT_DOUBLE_EQ(f.sim->settle, sim_spec{}.settle);
+}
+
+TEST(ApiSerialize, StcMethodRoundTrips) {
+  // String form in, canonical object form out, stable thereafter.
+  const scenario_file f = parse_scenario_json(R"({"scenario": {"method": "stc"}})");
+  EXPECT_EQ(f.scenario.method.k, method_spec::kind::stc);
+  const std::string json = to_json(f);
+  const scenario_file again = parse_scenario_json(json);
+  EXPECT_EQ(again.scenario.method.k, method_spec::kind::stc);
+  EXPECT_EQ(to_json(again), json);
+  // The gain_aware optimization knob rides the same round trip.
+  const scenario_file g = parse_scenario_json(
+      R"({"scenario": {"optimizations": {"shrink_back": true, "gain_aware": true}}})");
+  EXPECT_TRUE(g.scenario.opts.gain_aware);
+  EXPECT_TRUE(parse_scenario_json(to_json(g)).scenario.opts.gain_aware);
+}
+
+TEST(ApiSerialize, MalformedMethodRejected) {
+  EXPECT_THROW(parse_scenario_json(R"({"scenario": {"method": "carrier-pigeon"}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario_json(R"({"scenario": {"method": {"name": "carrier-pigeon"}}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario_json(R"({"scenario": {"method": {"typo": "stc"}}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario_json(R"({"scenario": {"method": 7}})"), std::invalid_argument);
 }
 
 TEST(ApiSerialize, BareScenarioObjectIsAccepted) {
@@ -287,8 +316,18 @@ TEST(ApiSerialize, RandomSpecsRoundTripIdempotently) {
         break;
       }
     }
-    s.method = rng() % 2 == 0 ? method_spec::protocol()
-                              : method_spec::of_baseline(static_cast<baseline_kind>(rng() % 6));
+    switch (rng() % 3) {
+      case 0:
+        s.method = method_spec::protocol();
+        break;
+      case 1:
+        s.method = method_spec::stc();
+        break;
+      default:
+        s.method = method_spec::of_baseline(static_cast<baseline_kind>(rng() % 6));
+        break;
+    }
+    s.opts.gain_aware = rng() % 2 == 0;
     s.cbtc.alpha = pick_double(0.1, 6.0);
     s.cbtc.increase_factor = pick_double(1.1, 4.0);
     s.cbtc.intra_threads = static_cast<unsigned>(rng() % 9);

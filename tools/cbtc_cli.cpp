@@ -124,7 +124,11 @@ int usage() {
       "            [--regions R]  (dynamic: event-engine region count, 0 = auto)\n"
       "            (both thread knobs share one process-wide pool: T x T\n"
       "             nests via work-stealing, it never multiplies threads)\n"
-      "            [--method oracle|protocol|mst|rng|gabriel|yao|knn|max-power]\n"
+      "            [--method oracle|protocol|stc|mst|rng|gabriel|yao|knn|max-power]\n"
+      "            [--methods m1,m2,...]  (static only: run every method over\n"
+      "             the same seeds and print one comparison row per method)\n"
+      "            [--gain-aware]  (force the gain-aware op3 pass; non-isotropic\n"
+      "             scenarios with --pairwise-style opts route to it anyway)\n"
       "            [--alpha RAD] [--nodes N] [--region S] [--range R]\n"
       "            [--propagation isotropic|shadowing|obstacles]\n"
       "            [--shadow-sigma DB] [--shadow-clamp DB]\n"
@@ -417,6 +421,7 @@ sweep_setup resolve_sweep(const cli_args& args) {
       throw usage_error(e.what());
     }
   }
+  if (args.has_flag("gain-aware")) spec.opts.gain_aware = true;
   if (args.options.contains("alpha")) spec.cbtc.alpha = args.num("alpha", spec.cbtc.alpha);
   if (args.options.contains("nodes")) spec.deploy.nodes = args.count("nodes", spec.deploy.nodes);
   if (args.options.contains("region")) {
@@ -531,6 +536,46 @@ int print_static_sweep(const api::scenario_spec& spec, const api::batch_report& 
   return b.connectivity_failures == 0 ? 0 : 1;
 }
 
+/// --methods m1,m2,...: one static batch per method over the same
+/// seeds and scenario, one comparison row per method (the CBTC-vs-STC
+/// degree / power stretch / connectivity race across propagation
+/// presets).
+int print_method_comparison(api::scenario_spec spec, const std::string& list,
+                            api::seed_range seeds, unsigned threads) {
+  std::vector<api::method_spec> methods;
+  std::stringstream ss(list);
+  for (std::string tok; std::getline(ss, tok, ',');) {
+    if (tok.empty()) continue;
+    try {
+      methods.push_back(api::parse_method(tok));
+    } catch (const std::invalid_argument& e) {
+      throw usage_error(e.what());
+    }
+  }
+  if (methods.empty()) throw usage_error("--methods needs a comma-separated method list");
+
+  std::cout << "scenario " << spec.name << ", seeds [" << seeds.first << ", "
+            << seeds.first + seeds.count << "), method comparison\n\n";
+  exp::table t({"method", "edges", "avg degree", "avg tx power", "power stretch", "stretch max",
+                "hop stretch", "preserved"});
+  const api::engine eng;
+  std::size_t failures = 0;
+  for (const api::method_spec& m : methods) {
+    spec.method = m;
+    const api::batch_report b = eng.run_batch(spec, seeds, threads);
+    t.add_row({api::method_name(m), exp::table::num(b.edges.mean(), 1),
+               exp::table::num(b.degree.mean(), 2), exp::table::num(b.tx_power.mean(), 0),
+               exp::table::num(b.power_stretch.mean(), 3),
+               exp::table::num(b.power_stretch.max(), 3), exp::table::num(b.hop_stretch.mean(), 3),
+               std::to_string(b.runs - b.connectivity_failures) + "/" + std::to_string(b.runs)});
+    failures += b.connectivity_failures;
+  }
+  t.print(std::cout);
+  std::cout << "\nconnectivity preserved: all methods" << (failures == 0 ? " ok" : ": FAILURES")
+            << "\n";
+  return failures == 0 ? 0 : 1;
+}
+
 int cmd_sweep(const cli_args& args) {
   if (args.has_flag("list")) return cmd_scenarios();
   auto [spec, sim, lifetime] = resolve_sweep(args);
@@ -543,6 +588,13 @@ int cmd_sweep(const cli_args& args) {
 
   const api::seed_range seeds = sweep_seeds(args);
   const auto threads = static_cast<unsigned>(args.count("threads", 0));
+
+  if (args.options.contains("methods")) {
+    if (sim || lifetime) {
+      throw usage_error("--methods compares static sweeps only (no sim/lifetime block)");
+    }
+    return print_method_comparison(std::move(spec), args.get("methods", ""), seeds, threads);
+  }
 
   const api::engine eng;
   if (lifetime) {
